@@ -1,0 +1,90 @@
+// LB / LBALT — paper Figure 2 + section IV.J (per-dimension balancing with
+// Ehrhart work counts) and Figure 8 + section VII.B (hyperplane cuts).
+//
+// Claims reproduced:
+//   * balancing on fewer than all dimensions achieves good work balance,
+//     but too few dimensions balances badly (one dim on Fig. 2's shape is
+//     "much worse"),
+//   * the per-dimension method creates long critical paths; hyperplane
+//     cuts on wedge-shaped spaces reduce idle time when scaling across
+//     nodes (2-arm bandit).
+
+#include "bench_util.hpp"
+
+#include "tiling/balance.hpp"
+
+namespace {
+
+using namespace dpgen;
+using namespace dpgen::benchutil;
+
+void lb_table() {
+  header("LB", "work imbalance (max/avg) vs number of balanced dimensions");
+  std::printf("%-8s %-7s %-8s %-12s %-12s\n", "space", "nodes", "lbdims",
+              "imbalance", "cells");
+  for (int d : {3, 4}) {
+    for (int lbdims = 1; lbdims <= std::min(3, d); ++lbdims) {
+      tiling::TilingModel model(simplex_spec(d, 4, lbdims));
+      IntVec params{47};
+      for (int nodes : {3, 8}) {
+        tiling::LoadBalancer lb(model, params, nodes);
+        std::printf("%-8s %-7d %-8d %-12.4f %-12lld\n",
+                    ("simp" + std::to_string(d)).c_str(), nodes, lbdims,
+                    lb.imbalance(), lb.num_cells());
+      }
+    }
+  }
+  std::printf("# paper: selecting fewer than all dims balances well, but "
+              "too few (e.g. 1) is much worse\n\n");
+}
+
+void lbalt_table() {
+  header("LBALT",
+         "per-dimension vs hyperplane cuts on the 2-arm bandit: idle time");
+  std::printf("%-7s %-14s %-14s %-12s %-12s\n", "nodes", "perdim_util",
+              "hyper_util", "perdim_mk", "hyper_mk");
+  tiling::TilingModel model(problems::bandit2(8).spec);
+  IntVec params{127};
+  for (int nodes : {2, 4, 8}) {
+    sim::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.cores_per_node = 8;
+    cfg.balance = tiling::BalanceMethod::kPerDimension;
+    auto a = sim::simulate(model, params, cfg);
+    cfg.balance = tiling::BalanceMethod::kHyperplane;
+    auto b = sim::simulate(model, params, cfg);
+    std::printf("%-7d %-14.3f %-14.3f %-12.4f %-12.4f\n", nodes,
+                a.utilization, b.utilization, a.makespan, b.makespan);
+  }
+  std::printf("# paper: hyperplane balancing reduced idle times on the "
+              "2-arm bandit when scaling across nodes (future work, Fig. 8)\n\n");
+}
+
+void BM_BalancerConstruction(benchmark::State& state) {
+  tiling::TilingModel model(problems::bandit2(8).spec);
+  IntVec params{static_cast<Int>(state.range(0))};
+  for (auto _ : state) {
+    tiling::LoadBalancer lb(model, params, 8);
+    benchmark::DoNotOptimize(lb.total_work());
+  }
+}
+BENCHMARK(BM_BalancerConstruction)->Arg(63)->Arg(127);
+
+void BM_OwnerLookup(benchmark::State& state) {
+  tiling::TilingModel model(problems::bandit2(8).spec);
+  IntVec params{127};
+  tiling::LoadBalancer lb(model, params, 8);
+  IntVec tile{3, 2, 1, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(lb.owner(tile));
+}
+BENCHMARK(BM_OwnerLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lb_table();
+  lbalt_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

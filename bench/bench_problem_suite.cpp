@@ -1,0 +1,104 @@
+// SUITE — engine throughput across the packaged problem suite: locations
+// per second through the full tiled scheduler (interpreted center loops),
+// plus tiles and edge traffic per problem.  Not a paper figure; this is
+// the library's own performance baseline so regressions are visible.
+
+#include "bench_util.hpp"
+
+#include "engine/engine.hpp"
+
+namespace {
+
+using namespace dpgen;
+using namespace dpgen::benchutil;
+
+void suite_table() {
+  header("SUITE", "engine throughput per problem (1 rank, 1 thread)");
+  std::printf("%-14s %-14s %-10s %-12s %-14s\n", "problem", "cells",
+              "tiles", "seconds", "Mcells/s");
+  struct Case {
+    std::string name;
+    problems::Problem prob;
+    IntVec params;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"bandit2", problems::bandit2(6), {40}});
+  cases.push_back({"bandit3", problems::bandit3(4), {14}});
+  cases.push_back({"bandit2_delay", problems::bandit2_delay(4), {12}});
+  {
+    auto seqs = std::vector<std::string>{problems::random_dna(60, 1),
+                                         problems::random_dna(60, 2),
+                                         problems::random_dna(60, 3)};
+    cases.push_back(
+        {"msa3", problems::msa(seqs, 8), problems::sequence_params(seqs)});
+  }
+  {
+    auto seqs = std::vector<std::string>{problems::random_dna(300, 4),
+                                         problems::random_dna(300, 5)};
+    cases.push_back(
+        {"lcs2", problems::lcs(seqs, 16), problems::sequence_params(seqs)});
+  }
+  {
+    std::string a = problems::random_dna(120, 6),
+                b = problems::random_dna(120, 7);
+    cases.push_back({"align_affine", problems::align_affine(a, b),
+                     problems::sequence_params({a, b})});
+  }
+  cases.push_back({"seam", problems::seam_carving(32), {300, 300}});
+  cases.push_back({"coin_change", problems::coin_change({1, 7, 23}, 16),
+                   {5000}});
+
+  for (auto& c : cases) {
+    tiling::TilingModel model(c.prob.spec);
+    Int cells = model.total_cells(c.params);
+    engine::EngineOptions opt;
+    opt.probes = {c.prob.objective};
+    auto result = engine::run(model, c.params, c.prob.kernel, opt);
+    double secs = result.rank_stats[0].total_seconds;
+    std::printf("%-14s %-14lld %-10lld %-12.4f %-14.2f\n", c.name.c_str(),
+                static_cast<long long>(cells),
+                result.total(&runtime::RunStats::tiles_executed), secs,
+                static_cast<double>(cells) / secs / 1e6);
+  }
+  std::printf("\n");
+}
+
+void BM_EngineMsa3(benchmark::State& state) {
+  auto seqs = std::vector<std::string>{problems::random_dna(30, 1),
+                                       problems::random_dna(30, 2),
+                                       problems::random_dna(30, 3)};
+  problems::Problem p = problems::msa(seqs, 8);
+  tiling::TilingModel model(p.spec);
+  IntVec params = problems::sequence_params(seqs);
+  engine::EngineOptions opt;
+  opt.probes = {p.objective};
+  for (auto _ : state) {
+    auto r = engine::run(model, params, p.kernel, opt);
+    benchmark::DoNotOptimize(r.values.size());
+  }
+  state.SetItemsProcessed(state.iterations() * model.total_cells(params));
+}
+BENCHMARK(BM_EngineMsa3)->Unit(benchmark::kMillisecond);
+
+void BM_EngineSeam(benchmark::State& state) {
+  problems::Problem p = problems::seam_carving(32);
+  tiling::TilingModel model(p.spec);
+  IntVec params{100, 100};
+  engine::EngineOptions opt;
+  opt.probes = {p.objective};
+  for (auto _ : state) {
+    auto r = engine::run(model, params, p.kernel, opt);
+    benchmark::DoNotOptimize(r.values.size());
+  }
+  state.SetItemsProcessed(state.iterations() * model.total_cells(params));
+}
+BENCHMARK(BM_EngineSeam)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  suite_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Adaptive clinical-trial design with Bernoulli bandits (paper section I).
+//
+// Each treatment arm is a Bernoulli bandit arm; solving the bandit DP
+// yields the maximal expected number of treatment successes over N
+// patients when allocation adapts to observed outcomes.  The baseline is
+// the classic fixed (equal-allocation) design whose expected successes are
+// N/2 under the uniform prior.  The "adaptive gain" is what the paper's
+// motivation is about: adaptive trials treat more patients successfully
+// with the same sample size.
+//
+//   $ ./bandit_trial_design [N_max]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "problems/problems.hpp"
+
+using namespace dpgen;
+
+int main(int argc, char** argv) {
+  const Int n_max = argc > 1 ? std::atoll(argv[1]) : 24;
+
+  problems::Problem two = problems::bandit2(6);
+  problems::Problem three = problems::bandit3(4);
+  tiling::TilingModel model2(two.spec);
+  tiling::TilingModel model3(three.spec);
+
+  std::printf("Expected successes over N patients (uniform priors)\n");
+  std::printf("%-6s %-12s %-12s %-12s %-14s\n", "N", "fixed", "adaptive-2",
+              "adaptive-3", "gain-2 (pts)");
+  for (Int n = 4; n <= n_max; n += 4) {
+    engine::EngineOptions opt;
+    opt.ranks = 2;
+    opt.threads = 2;
+
+    opt.probes = {two.objective};
+    double v2 = engine::run(model2, {n}, two.kernel, opt).at(two.objective);
+
+    double v3 = 0.0;
+    if (n <= 16) {  // 6-dimensional space: keep the demo snappy
+      opt.probes = {three.objective};
+      v3 = engine::run(model3, {n}, three.kernel, opt).at(three.objective);
+    }
+
+    double fixed = static_cast<double>(n) / 2.0;
+    if (n <= 16)
+      std::printf("%-6lld %-12.3f %-12.4f %-12.4f %-+14.4f\n",
+                  static_cast<long long>(n), fixed, v2, v3, v2 - fixed);
+    else
+      std::printf("%-6lld %-12.3f %-12.4f %-12s %-+14.4f\n",
+                  static_cast<long long>(n), fixed, v2, "-", v2 - fixed);
+  }
+  std::printf(
+      "\nAdaptive allocation always beats the fixed design, and a third\n"
+      "arm (more options to learn about) only helps - the ethical case\n"
+      "for adaptive clinical trials the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// What-if cluster sizing with the discrete-event simulator.
+//
+// Before buying node-hours, predict how a problem will scale: the
+// simulator replays the exact tile schedule (same priority, same load
+// balancer, same communication pattern as a generated program) under a
+// configurable machine model.
+//
+//   $ ./cluster_whatif                  # 2-arm bandit, N=127
+//   $ ./cluster_whatif spec.txt N ...   # your own problem + parameters
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <cstring>
+
+#include "problems/problems.hpp"
+#include "sim/cluster_sim.hpp"
+#include "sim/svg.hpp"
+#include "sim/tune.hpp"
+#include "spec/parser.hpp"
+
+using namespace dpgen;
+
+int main(int argc, char** argv) {
+  spec::ProblemSpec spec;
+  IntVec params;
+  std::string svg_path;
+  try {
+    // --svg=<path> renders an execution-timeline SVG of the 4x8 run.
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--svg=", 6) == 0)
+        svg_path = argv[i] + 6;
+      else
+        args.push_back(argv[i]);
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+    if (argc >= 2) {
+      spec = spec::parse_spec_file(argv[1]);
+      for (int i = 2; i < argc; ++i) params.push_back(std::atoll(argv[i]));
+    } else {
+      spec = problems::bandit2(8).spec;
+      params = {127};
+    }
+    if (static_cast<int>(params.size()) !=
+        static_cast<int>(spec.param_names().size())) {
+      std::fprintf(stderr, "expected %zu parameter values\n",
+                   spec.param_names().size());
+      return 2;
+    }
+
+    tiling::TilingModel model(std::move(spec));
+    std::printf("problem '%s': %lld locations, %lld tiles\n",
+                model.problem().problem_name().c_str(),
+                static_cast<long long>(model.total_cells(params)),
+                static_cast<long long>(model.total_tiles(params)));
+    std::printf("%-7s %-7s %-12s %-10s %-10s %-12s\n", "nodes", "cores",
+                "makespan_s", "speedup", "eff", "msgs");
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      for (int cores : {8, 24}) {
+        sim::ClusterConfig cfg;
+        cfg.nodes = nodes;
+        cfg.cores_per_node = cores;
+        cfg.record_timeline = !svg_path.empty() && nodes == 4 && cores == 8;
+        auto r = sim::simulate(model, params, cfg);
+        std::printf("%-7d %-7d %-12.4f %-10.2f %-10.3f %-12lld\n", nodes,
+                    cores, r.makespan, r.speedup(),
+                    r.efficiency(nodes * cores), r.remote_messages);
+        if (cfg.record_timeline) {
+          sim::write_timeline_svg(r, svg_path);
+          std::printf("        (timeline of this run written to %s)\n",
+                      svg_path.c_str());
+        }
+      }
+    }
+    std::printf("\n(absolute seconds assume %.0f ns per location; shapes "
+                "are what matter)\n", 1000.0);
+
+    // Tile-width autotuning (the parameter sweep of paper VI.C) for the
+    // built-in demo problem.
+    if (argc < 2) {
+      std::printf("\ntile-width sweep (8 nodes x 8 cores):\n");
+      sim::ClusterConfig cfg;
+      cfg.nodes = 8;
+      cfg.cores_per_node = 8;
+      cfg.tile_overhead_sec = 2e-5;
+      cfg.link_latency_sec = 2e-4;
+      auto sweep = sim::sweep_widths(
+          [](Int w) { return problems::bandit2(w).spec; },
+          {2, 4, 6, 8, 12}, params, cfg);
+      for (const auto& r : sweep)
+        std::printf("  width %-4lld makespan %.4f s\n",
+                    static_cast<long long>(r.width), r.result.makespan);
+      std::printf("  -> best width: %lld\n",
+                  static_cast<long long>(sim::best_width(sweep)));
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+// Exact multiple sequence alignment (paper section I).
+//
+// Aligns three synthetic DNA sequences exactly with the tiled parallel
+// engine (sum-of-pairs score), and compares against the cheap pairwise
+// lower bound: the sum of the three optimal pairwise alignment costs is a
+// lower bound on the exact 3-way cost, and heuristic (star/progressive)
+// aligners can only sit above the exact value.  The gap between bound,
+// exact and heuristic is why the paper cares about making exact
+// multidimensional DP affordable.
+//
+//   $ ./sequence_alignment [length]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "problems/problems.hpp"
+
+using namespace dpgen;
+
+namespace {
+
+double align_exact(const std::vector<std::string>& seqs, int ranks) {
+  problems::Problem p = problems::msa(seqs, 6);
+  tiling::TilingModel model(p.spec);
+  engine::EngineOptions opt;
+  opt.ranks = ranks;
+  opt.threads = 2;
+  opt.probes = {p.objective};
+  return engine::run(model, problems::sequence_params(seqs), p.kernel, opt)
+      .at(p.objective);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t len = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 28;
+
+  std::vector<std::string> seqs{problems::random_dna(len, 101),
+                                problems::random_dna(len + 3, 202),
+                                problems::random_dna(len - 2, 303)};
+  std::printf("sequences:\n");
+  for (const auto& s : seqs) std::printf("  %s\n", s.c_str());
+
+  // Pairwise optimal costs (2-way MSA) -> sum-of-pairs lower bound.
+  double bound = 0.0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = i + 1; j < 3; ++j)
+      bound += align_exact({seqs[static_cast<std::size_t>(i)],
+                            seqs[static_cast<std::size_t>(j)]},
+                           1);
+
+  double exact = align_exact(seqs, 2);
+
+  std::printf("\npairwise lower bound (sum of optimal pair costs): %.1f\n",
+              bound);
+  std::printf("exact 3-way sum-of-pairs cost:                    %.1f\n",
+              exact);
+  std::printf("tightness: exact is %.1f%% above the bound\n",
+              100.0 * (exact - bound) / bound);
+  std::printf(
+      "\nThe exact 3-dimensional DP has %lld locations; the tiled engine\n"
+      "computed it in parallel without materialising the full cube.\n",
+      static_cast<long long>((len + 1) * (len + 4) * (len - 1)));
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build, run the test suite and the
+# figure-reproduction benches.  Usage: scripts/check.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "${1:-}" != "--quick" ]]; then
+  for b in build/bench/*; do
+    [[ -x "$b" && -f "$b" ]] || continue
+    echo "==== $b"
+    "$b"
+  done
+fi
+echo "all checks passed"

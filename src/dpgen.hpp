@@ -1,0 +1,31 @@
+#pragma once
+// Umbrella header: the public dpgen API in one include.
+//
+//   #include "dpgen.hpp"
+//
+// Pulls in the problem-description layer (spec), the tiling analysis, the
+// direct executor with recovery and the serial reference, the program
+// generator, the cluster simulator with autotuning, and the packaged
+// problems.  Fine-grained headers remain available for faster builds.
+
+#include "codegen/generator.hpp"   // IWYU pragma: export
+#include "engine/decisions.hpp"    // IWYU pragma: export
+#include "engine/engine.hpp"       // IWYU pragma: export
+#include "engine/recovery.hpp"     // IWYU pragma: export
+#include "engine/serial.hpp"       // IWYU pragma: export
+#include "problems/problems.hpp"   // IWYU pragma: export
+#include "sim/cluster_sim.hpp"     // IWYU pragma: export
+#include "sim/tune.hpp"            // IWYU pragma: export
+#include "spec/parser.hpp"         // IWYU pragma: export
+#include "spec/problem_spec.hpp"   // IWYU pragma: export
+#include "tiling/balance.hpp"      // IWYU pragma: export
+#include "tiling/model.hpp"        // IWYU pragma: export
+
+namespace dpgen {
+
+/// Library version (reproduction of VandenBerg & Stout, CLUSTER 2011).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace dpgen

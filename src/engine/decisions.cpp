@@ -1,0 +1,69 @@
+#include "engine/decisions.hpp"
+
+#include "engine/interpret.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::engine {
+
+void DecisionLog::record(const IntVec& tile,
+                         const std::vector<unsigned char>& cells) {
+  std::vector<Run> runs;
+  for (unsigned char d : cells) {
+    if (!runs.empty() && runs.back().decision == d)
+      ++runs.back().count;
+    else
+      runs.push_back({d, 1});
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.insert_or_assign(tile, std::move(runs));
+}
+
+unsigned char DecisionLog::decision_at(const tiling::TilingModel& model,
+                                       const IntVec& params,
+                                       const IntVec& point) const {
+  IntVec tile = detail::tile_of(model, point);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(tile);
+  DPGEN_CHECK(it != runs_.end(),
+              cat("no decisions recorded for the tile containing ",
+                  vec_to_string(point)));
+  // Index of the point within the tile's scan order.
+  Int index = -1, i = 0;
+  model.for_each_cell(params, tile,
+                      [&](const IntVec&, const IntVec& global) {
+                        if (global == point) index = i;
+                        ++i;
+                      });
+  DPGEN_CHECK(index >= 0, cat("point ", vec_to_string(point),
+                              " is not a cell of its tile"));
+  for (const Run& r : it->second) {
+    if (index < r.count) return r.decision;
+    index -= r.count;
+  }
+  raise("decision log shorter than the tile (engine bug)");
+}
+
+long long DecisionLog::total_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long long n = 0;
+  for (const auto& [tile, runs] : runs_)
+    for (const Run& r : runs) n += r.count;
+  return n;
+}
+
+long long DecisionLog::total_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long long n = 0;
+  for (const auto& [tile, runs] : runs_)
+    n += static_cast<long long>(runs.size());
+  return n;
+}
+
+double DecisionLog::compression_ratio() const {
+  long long runs = total_runs();
+  return runs == 0 ? 0.0
+                   : static_cast<double>(total_cells()) /
+                         static_cast<double>(runs);
+}
+
+}  // namespace dpgen::engine

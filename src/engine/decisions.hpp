@@ -1,0 +1,48 @@
+#pragma once
+// Run-length-encoded decision matrices (paper section VII.A, second half):
+// "If only the decisions are required then a run length encoded
+// representation of the decision matrix might be acceptable."
+//
+// The center kernel reports one decision byte per location through
+// Cell::decision; the engine collects each tile's decisions in its scan
+// order and stores them run-length encoded.  Optimal policies have long
+// constant runs (e.g. "pull arm 1" across large regions of the bandit
+// state space), so the log stays far below one byte per location while
+// still answering decision_at() for any point.
+
+#include <mutex>
+#include <unordered_map>
+
+#include "tiling/model.hpp"
+
+namespace dpgen::engine {
+
+class DecisionLog {
+ public:
+  /// One RLE run: `count` consecutive cells (tile scan order) chose
+  /// `decision`.
+  struct Run {
+    unsigned char decision = 0;
+    Int count = 0;
+  };
+
+  /// Records one tile's decision sequence (called by the engine).
+  void record(const IntVec& tile, const std::vector<unsigned char>& cells);
+
+  /// The decision at a global point.  Replays the containing tile's scan
+  /// order against the stored runs.
+  unsigned char decision_at(const tiling::TilingModel& model,
+                            const IntVec& params, const IntVec& point) const;
+
+  /// Total locations covered and total runs stored.
+  long long total_cells() const;
+  long long total_runs() const;
+  /// locations / runs: how much RLE saved over one byte per location.
+  double compression_ratio() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<IntVec, std::vector<Run>, IntVecHash> runs_;
+};
+
+}  // namespace dpgen::engine

@@ -1,0 +1,224 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "engine/decisions.hpp"
+#include "engine/interpret.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::engine {
+
+namespace {
+
+/// Shared (per-run, across ranks) state: the recorded values.
+struct Recorder {
+  std::mutex mu;
+  std::unordered_map<IntVec, double, IntVecHash> values;
+  bool record_all = false;
+  std::vector<IntVec> probes;
+  bool track_max = false;
+  bool have_max = false;
+  double max_value = 0.0;
+  IntVec max_point;
+};
+
+/// ProblemHooks implementation that interprets the TilingModel.
+class ModelHooks final : public runtime::ProblemHooks<double> {
+ public:
+  ModelHooks(const tiling::TilingModel& model, const IntVec& params,
+             const tiling::LoadBalancer& balancer, const CenterFn& center,
+             Recorder& recorder, EdgeStore* edge_store,
+             const std::function<void(const IntVec&)>& tile_hook,
+             DecisionLog* decision_log)
+      : model_(model),
+        params_(params),
+        balancer_(balancer),
+        center_(center),
+        recorder_(recorder),
+        edge_store_(edge_store),
+        tile_hook_(tile_hook),
+        decision_log_(decision_log) {}
+
+  int dim() const override { return model_.dim(); }
+  Int buffer_size() const override { return model_.buffer_size(); }
+  int num_edges() const override { return model_.num_edges(); }
+  const IntVec& edge_offset(int edge) const override {
+    return model_.edges()[static_cast<std::size_t>(edge)].offset;
+  }
+  bool tile_exists(const IntVec& tile) const override {
+    return model_.tile_in_space(params_, tile);
+  }
+  int dep_count(const IntVec& tile) const override {
+    return static_cast<int>(model_.deps_of(params_, tile).size());
+  }
+  void initial_tiles(std::vector<IntVec>& out) const override {
+    model_.for_each_initial_tile(params_,
+                                 [&](const IntVec& t) { out.push_back(t); });
+  }
+  int owner(const IntVec& tile) const override {
+    return balancer_.owner(tile);
+  }
+  Int owned_tiles(int rank) const override {
+    return balancer_.owned_tiles(rank);
+  }
+
+  void execute_tile(const IntVec& tile, double* buffer) override {
+    if (decision_log_) {
+      std::vector<unsigned char> decisions;
+      detail::execute_tile_interpreted(model_, params_, tile, center_,
+                                       buffer, &decisions);
+      decision_log_->record(tile, decisions);
+    } else {
+      detail::execute_tile_interpreted(model_, params_, tile, center_,
+                                       buffer);
+    }
+  }
+
+  void on_tile_executed(const IntVec& tile, const double* buffer) override {
+    if (tile_hook_) tile_hook_(tile);
+    if (recorder_.track_max) {
+      // Per-tile local maximum first (no lock), then one merge.
+      bool have = false;
+      double best = 0.0;
+      IntVec best_point;
+      model_.for_each_cell(
+          params_, tile, [&](const IntVec& local, const IntVec& global) {
+            double v = buffer[model_.local_index(local)];
+            if (!have || v > best || (v == best && global < best_point)) {
+              have = true;
+              best = v;
+              best_point = global;
+            }
+          });
+      if (have) {
+        std::lock_guard<std::mutex> lock(recorder_.mu);
+        if (!recorder_.have_max || best > recorder_.max_value ||
+            (best == recorder_.max_value &&
+             best_point < recorder_.max_point)) {
+          recorder_.have_max = true;
+          recorder_.max_value = best;
+          recorder_.max_point = best_point;
+        }
+      }
+    }
+    if (!recorder_.record_all && recorder_.probes.empty()) return;
+    if (recorder_.record_all) {
+      std::lock_guard<std::mutex> lock(recorder_.mu);
+      model_.for_each_cell(params_, tile,
+                           [&](const IntVec& local, const IntVec& global) {
+                             recorder_.values[global] =
+                                 buffer[model_.local_index(local)];
+                           });
+      return;
+    }
+    const int d = model_.dim();
+    const auto& w = model_.problem().widths();
+    for (const auto& probe : recorder_.probes) {
+      bool inside = true;
+      IntVec local(static_cast<std::size_t>(d));
+      for (int k = 0; k < d && inside; ++k) {
+        auto ks = static_cast<std::size_t>(k);
+        if (floor_div(probe[ks], w[ks]) != tile[ks]) inside = false;
+        local[ks] = probe[ks] - w[ks] * tile[ks];
+      }
+      if (!inside) continue;
+      std::lock_guard<std::mutex> lock(recorder_.mu);
+      recorder_.values[probe] = buffer[model_.local_index(local)];
+    }
+  }
+
+  Int pack(int edge, const IntVec& producer, const double* buffer,
+           std::vector<double>& out) const override {
+    return detail::pack_interpreted(model_, params_, edge, producer, buffer,
+                                    out);
+  }
+
+  void unpack(int edge, const IntVec& producer, const double* data, Int count,
+              double* buffer) const override {
+    if (edge_store_) {
+      IntVec consumer = vec_sub(
+          producer, model_.edges()[static_cast<std::size_t>(edge)].offset);
+      runtime::EdgeData<double> copy;
+      copy.edge = edge;
+      copy.payload.assign(data, data + count);
+      std::lock_guard<std::mutex> lock(edge_store_->mu);
+      edge_store_->by_consumer[consumer].push_back(std::move(copy));
+    }
+    detail::unpack_interpreted(model_, params_, edge, producer, data, count,
+                               buffer);
+  }
+
+ private:
+  const tiling::TilingModel& model_;
+  const IntVec& params_;
+  const tiling::LoadBalancer& balancer_;
+  const CenterFn& center_;
+  Recorder& recorder_;
+  EdgeStore* edge_store_;
+  const std::function<void(const IntVec&)>& tile_hook_;
+  DecisionLog* decision_log_;
+};
+
+}  // namespace
+
+double EngineResult::at(const IntVec& point) const {
+  auto it = values.find(point);
+  DPGEN_CHECK(it != values.end(),
+              cat("no recorded value at ", vec_to_string(point),
+                  "; add it to EngineOptions::probes or set record_all"));
+  return it->second;
+}
+
+long long EngineResult::total(long long runtime::RunStats::* field) const {
+  long long sum = 0;
+  for (const auto& s : rank_stats) sum += s.*field;
+  return sum;
+}
+
+EngineResult run(const tiling::TilingModel& model, const IntVec& params,
+                 const CenterFn& center, const EngineOptions& options) {
+  tiling::LoadBalancer balancer(model, params, options.ranks,
+                                options.balance);
+
+  Recorder recorder;
+  recorder.record_all = options.record_all;
+  recorder.probes = options.probes;
+  recorder.track_max = options.track_max;
+
+  // Priority dimensions: load-balanced dims first, then the rest in loop
+  // order (paper Fig. 5).
+  std::vector<int> dim_priority = model.lb_dims();
+  for (int k = 0; k < model.dim(); ++k)
+    if (std::find(dim_priority.begin(), dim_priority.end(), k) ==
+        dim_priority.end())
+      dim_priority.push_back(k);
+
+  runtime::RunOptions ropt;
+  ropt.threads = options.threads;
+  ropt.queue_shards = options.queue_shards;
+  ropt.order = runtime::TileOrder(dim_priority,
+                                  model.problem().dep_signs(), options.policy);
+  ropt.poison_buffers = options.poison_buffers;
+  ropt.stall_timeout_seconds = options.stall_timeout_seconds;
+
+  minimpi::World world(options.ranks, options.mailbox_capacity);
+  std::vector<runtime::RunStats> rank_stats(
+      static_cast<std::size_t>(options.ranks));
+  world.run([&](minimpi::Comm& comm) {
+    ModelHooks hooks(model, params, balancer, center, recorder,
+                     options.edge_store, options.on_tile_executed,
+                     options.decision_log);
+    rank_stats[static_cast<std::size_t>(comm.rank())] =
+        runtime::run_node<double>(hooks, comm, ropt);
+  });
+
+  EngineResult result;
+  result.values = std::move(recorder.values);
+  result.rank_stats = std::move(rank_stats);
+  result.max_value = recorder.max_value;
+  result.max_point = std::move(recorder.max_point);
+  return result;
+}
+
+}  // namespace dpgen::engine

@@ -1,0 +1,82 @@
+#include "engine/interpret.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dpgen::engine::detail {
+
+void execute_tile_interpreted(const tiling::TilingModel& model,
+                              const IntVec& params, const IntVec& tile,
+                              const CenterFn& center, double* buffer,
+                              std::vector<unsigned char>* decisions) {
+  const int d = model.dim();
+  const int p = model.nparams();
+  const auto& deps = model.problem().deps();
+  const auto ndeps = deps.size();
+
+  std::vector<Int> loc_dep(ndeps);
+  std::vector<unsigned char> valid(ndeps);
+  IntVec orig_point(static_cast<std::size_t>(p + d));
+  std::copy(params.begin(), params.end(), orig_point.begin());
+
+  unsigned char decision_slot = 0;
+  Cell cell;
+  cell.V = buffer;
+  cell.loc_dep = loc_dep.data();
+  cell.valid = valid.data();
+  cell.params = params.data();
+  cell.decision = &decision_slot;
+
+  model.for_each_cell(
+      params, tile, [&](const IntVec& local, const IntVec& global) {
+        cell.loc = model.local_index(local);
+        for (std::size_t j = 0; j < ndeps; ++j)
+          loc_dep[j] = cell.loc + model.dep_loc_offset(static_cast<int>(j));
+        std::copy(global.begin(), global.end(), orig_point.begin() + p);
+        for (std::size_t j = 0; j < ndeps; ++j)
+          valid[j] =
+              model.dep_valid_at(orig_point, static_cast<int>(j)) ? 1 : 0;
+        cell.x = global.data();
+        decision_slot = 0;
+        center(cell);
+        if (decisions) decisions->push_back(decision_slot);
+      });
+}
+
+void unpack_interpreted(const tiling::TilingModel& model,
+                        const IntVec& params, int edge,
+                        const IntVec& producer, const double* data,
+                        Int count, double* buffer) {
+  const auto& w = model.problem().widths();
+  const IntVec& delta = model.edges()[static_cast<std::size_t>(edge)].offset;
+  Int idx = 0;
+  IntVec ghost(static_cast<std::size_t>(model.dim()));
+  model.for_each_pack_cell(params, producer, edge, [&](const IntVec& j) {
+    DPGEN_ASSERT(idx < count);
+    for (std::size_t k = 0; k < ghost.size(); ++k)
+      ghost[k] = j[k] + w[k] * delta[k];
+    buffer[model.local_index(ghost)] = data[idx++];
+  });
+  DPGEN_CHECK(idx == count, "unpack: edge payload length mismatch");
+}
+
+Int pack_interpreted(const tiling::TilingModel& model, const IntVec& params,
+                     int edge, const IntVec& producer, const double* buffer,
+                     std::vector<double>& out) {
+  out.clear();
+  model.for_each_pack_cell(params, producer, edge, [&](const IntVec& j) {
+    out.push_back(buffer[model.local_index(j)]);
+  });
+  return static_cast<Int>(out.size());
+}
+
+IntVec tile_of(const tiling::TilingModel& model, const IntVec& point) {
+  const auto& w = model.problem().widths();
+  IntVec t(point.size());
+  for (std::size_t k = 0; k < point.size(); ++k)
+    t[k] = floor_div(point[k], w[k]);
+  return t;
+}
+
+}  // namespace dpgen::engine::detail

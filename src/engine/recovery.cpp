@@ -1,0 +1,64 @@
+#include "engine/recovery.hpp"
+
+#include "engine/interpret.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::engine {
+
+Recovery::Recovery(const tiling::TilingModel& model, const IntVec& params,
+                   CenterFn center, EngineOptions options)
+    : model_(model), params_(params), center_(std::move(center)) {
+  options.edge_store = &store_;
+  options.record_all = false;
+  options.probes.clear();
+  run(model_, params_, center_, options);
+}
+
+bool Recovery::contains(const IntVec& point) const {
+  DPGEN_CHECK(static_cast<int>(point.size()) == model_.dim(),
+              "point dimensionality mismatch");
+  IntVec orig = params_;
+  orig.insert(orig.end(), point.begin(), point.end());
+  return model_.problem().space().contains(orig);
+}
+
+double Recovery::value_at(const IntVec& point) {
+  DPGEN_CHECK(contains(point),
+              cat("point ", vec_to_string(point),
+                  " is outside the iteration space"));
+  IntVec tile = detail::tile_of(model_, point);
+  auto it = cache_.find(tile);
+  if (it == cache_.end()) {
+    std::vector<double> buffer(
+        static_cast<std::size_t>(model_.buffer_size()), 0.0);
+    auto edges = store_.by_consumer.find(tile);
+    if (edges != store_.by_consumer.end()) {
+      for (const auto& e : edges->second) {
+        IntVec producer = vec_add(
+            tile, model_.edges()[static_cast<std::size_t>(e.edge)].offset);
+        detail::unpack_interpreted(model_, params_, e.edge, producer,
+                                   e.payload.data(),
+                                   static_cast<Int>(e.payload.size()),
+                                   buffer.data());
+      }
+    }
+    detail::execute_tile_interpreted(model_, params_, tile, center_,
+                                     buffer.data());
+    ++recomputed_;
+    it = cache_.emplace(std::move(tile), std::move(buffer)).first;
+  }
+  IntVec local(point.size());
+  const auto& w = model_.problem().widths();
+  for (std::size_t k = 0; k < point.size(); ++k)
+    local[k] = point[k] - w[k] * it->first[k];
+  return it->second[static_cast<std::size_t>(model_.local_index(local))];
+}
+
+long long Recovery::edges_stored() const {
+  long long n = 0;
+  for (const auto& [tile, edges] : store_.by_consumer)
+    n += static_cast<long long>(edges.size());
+  return n;
+}
+
+}  // namespace dpgen::engine

@@ -1,0 +1,50 @@
+#pragma once
+// Solution recovery / traceback (paper section VII.A).
+//
+// The generated programs and the engine normally discard the iteration
+// space as they go (only tile edges live long enough to satisfy
+// dependencies), so only probed values survive a run.  For tracebacks —
+// reconstructing an optimal alignment, extracting a bandit allocation
+// policy — the paper proposes: "the edges of the tiles could be saved, and
+// needed tiles recalculated on the fly during the traceback".
+//
+// Recovery implements exactly that: it runs the problem once with an
+// EdgeStore attached (memory O(n^(d-1)), the packed edges), then serves
+// value_at(point) queries by recomputing the containing tile from its
+// saved edges and caching the rebuilt buffer.  A traceback that walks from
+// the objective to the base cases touches a chain of neighbouring tiles,
+// so each tile is recomputed at most once.
+
+#include "engine/engine.hpp"
+
+namespace dpgen::engine {
+
+class Recovery {
+ public:
+  /// Runs the problem (options' probe/record fields are ignored; ranks,
+  /// threads, policy etc. apply), saving every tile edge.
+  Recovery(const tiling::TilingModel& model, const IntVec& params,
+           CenterFn center, EngineOptions options = {});
+
+  /// Value of any location in the iteration space.  Recomputes (and
+  /// caches) the containing tile on first touch.  Not thread-safe.
+  double value_at(const IntVec& point);
+
+  /// True when the point lies inside the iteration space.
+  bool contains(const IntVec& point) const;
+
+  /// Number of tiles recomputed so far (diagnostics).
+  long long tiles_recomputed() const { return recomputed_; }
+  /// Number of packed edges retained from the run.
+  long long edges_stored() const;
+
+ private:
+  const tiling::TilingModel& model_;
+  IntVec params_;
+  CenterFn center_;
+  EdgeStore store_;
+  std::unordered_map<IntVec, std::vector<double>, IntVecHash> cache_;
+  long long recomputed_ = 0;
+};
+
+}  // namespace dpgen::engine

@@ -1,0 +1,94 @@
+#include "engine/serial.hpp"
+
+#include "poly/loopnest.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::engine {
+
+EngineResult run_serial(const tiling::TilingModel& model,
+                        const IntVec& params, const CenterFn& center) {
+  const auto& spec = model.problem();
+  const poly::System& space = spec.space();
+  const int d = spec.dim();
+  const int p = spec.nparams();
+  DPGEN_CHECK(static_cast<int>(params.size()) == p,
+              "run_serial: parameter count mismatch");
+
+  // Bounding box of each loop variable: project out every other loop
+  // variable, then evaluate that variable's bounds at the parameters.
+  IntVec lo(static_cast<std::size_t>(d)), hi(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    std::vector<int> others;
+    for (int j = 0; j < d; ++j)
+      if (j != k) others.push_back(spec.space_var(j));
+    poly::System proj = space.eliminated_all(others);
+    poly::LoopNest nest = poly::LoopNest::build(proj, {spec.space_var(k)});
+    IntVec seed(static_cast<std::size_t>(p + d), 0);
+    std::copy(params.begin(), params.end(), seed.begin());
+    auto [l, h] = nest.range(0, seed);
+    DPGEN_CHECK(l <= h, cat("iteration space is empty in dimension ",
+                            spec.var_names()[static_cast<std::size_t>(k)]));
+    lo[static_cast<std::size_t>(k)] = l;
+    hi[static_cast<std::size_t>(k)] = h;
+  }
+
+  // Dense row-major array over the box.
+  IntVec strides(static_cast<std::size_t>(d), 1);
+  for (int k = d - 2; k >= 0; --k)
+    strides[static_cast<std::size_t>(k)] =
+        mul_ck(strides[static_cast<std::size_t>(k + 1)],
+               hi[static_cast<std::size_t>(k + 1)] -
+                   lo[static_cast<std::size_t>(k + 1)] + 1);
+  Int total = mul_ck(strides[0], hi[0] - lo[0] + 1);
+  std::vector<double> array(static_cast<std::size_t>(total), 0.0);
+
+  // Scan the real space in dependency order: descending in +1 dims.
+  std::vector<int> order;
+  std::vector<int> dirs;
+  for (int k = 0; k < d; ++k) {
+    order.push_back(spec.space_var(k));
+    dirs.push_back(spec.dep_signs()[static_cast<std::size_t>(k)] > 0 ? -1
+                                                                     : 1);
+  }
+  poly::LoopNest nest = poly::LoopNest::build(space, order, dirs);
+
+  const auto ndeps = spec.deps().size();
+  std::vector<Int> loc_dep(ndeps);
+  std::vector<unsigned char> valid(ndeps);
+  std::vector<Int> dep_off(ndeps);
+  for (std::size_t j = 0; j < ndeps; ++j)
+    dep_off[j] = vec_dot(strides, spec.deps()[j].vec);
+
+  unsigned char decision_slot = 0;
+  Cell cell;
+  cell.V = array.data();
+  cell.loc_dep = loc_dep.data();
+  cell.valid = valid.data();
+  cell.params = params.data();
+  cell.decision = &decision_slot;
+
+  EngineResult result;
+  IntVec x(static_cast<std::size_t>(d));
+  IntVec seed(static_cast<std::size_t>(p + d), 0);
+  std::copy(params.begin(), params.end(), seed.begin());
+  poly::for_each_point(nest, seed, [&](const IntVec& pt) {
+    Int loc = 0;
+    for (int k = 0; k < d; ++k) {
+      auto ks = static_cast<std::size_t>(k);
+      x[ks] = pt[static_cast<std::size_t>(spec.space_var(k))];
+      loc = add_ck(loc, mul_ck(strides[ks], x[ks] - lo[ks]));
+    }
+    cell.loc = loc;
+    cell.x = x.data();
+    for (std::size_t j = 0; j < ndeps; ++j) {
+      loc_dep[j] = loc + dep_off[j];
+      valid[j] = model.dep_valid_at(pt, static_cast<int>(j)) ? 1 : 0;
+    }
+    center(cell);
+    result.values[x] = array[static_cast<std::size_t>(loc)];
+  });
+  return result;
+}
+
+}  // namespace dpgen::engine

@@ -1,0 +1,22 @@
+#pragma once
+// Serial reference execution over the original (untiled) iteration space.
+//
+// An independent second execution path for any ProblemSpec: a dense
+// bounding-box array over the original loop variables, scanned in plain
+// dependency order (the paper's Fig. 1 style quadruple loop), no tiling,
+// no scheduler, no communication.  Property tests run arbitrary specs
+// through both this and the tiled hybrid engine and require identical
+// results; it is also the natural "before" baseline when demonstrating
+// the generator.
+
+#include "engine/engine.hpp"
+
+namespace dpgen::engine {
+
+/// Runs the problem serially and returns the value of every location.
+/// Memory is the dense bounding box of the iteration space — intended for
+/// correctness work, not large problems (that is the engine's job).
+EngineResult run_serial(const tiling::TilingModel& model,
+                        const IntVec& params, const CenterFn& center);
+
+}  // namespace dpgen::engine

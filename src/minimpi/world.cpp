@@ -1,0 +1,263 @@
+#include "minimpi/world.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::minimpi {
+
+World::World(int nranks, std::size_t mailbox_capacity)
+    : capacity_(mailbox_capacity) {
+  DPGEN_CHECK(nranks >= 1, "world needs at least one rank");
+  for (int r = 0; r < nranks; ++r) {
+    comms_.push_back(std::unique_ptr<Comm>(new Comm()));
+    comms_.back()->world_ = this;
+    comms_.back()->rank_ = r;
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  m.payload.assign(p, p + bytes);
+
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+    ++blocked_sends_;
+    box.not_full.wait(
+        lock, [&] { return box.queue.size() < world_->capacity_; });
+  }
+  box.queue.push_back(std::move(m));
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  box.not_empty.notify_one();
+}
+
+bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+    ++blocked_sends_;
+    return false;
+  }
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  m.payload.assign(p, p + bytes);
+  box.queue.push_back(std::move(m));
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  box.not_empty.notify_one();
+  return true;
+}
+
+bool Comm::iprobe(int* src, int* tag) {
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (box.queue.empty()) return false;
+  if (src) *src = box.queue.front().source;
+  if (tag) *tag = box.queue.front().tag;
+  return true;
+}
+
+std::optional<Message> Comm::try_recv() {
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (box.queue.empty()) return std::nullopt;
+  Message m = std::move(box.queue.front());
+  box.queue.pop_front();
+  box.not_full.notify_one();
+  return m;
+}
+
+Message Comm::recv() {
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.not_empty.wait(lock, [&] { return !box.queue.empty(); });
+  Message m = std::move(box.queue.front());
+  box.queue.pop_front();
+  box.not_full.notify_one();
+  return m;
+}
+
+std::optional<Message> Comm::try_recv_match(int source, int tag) {
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if ((source >= 0 && it->source != source) ||
+        (tag >= 0 && it->tag != tag))
+      continue;
+    Message m = std::move(*it);
+    box.queue.erase(it);
+    box.not_full.notify_one();
+    return m;
+  }
+  return std::nullopt;
+}
+
+Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("isend to invalid rank ", dst));
+  Request r;
+  r.comm_ = this;
+  r.kind_ = Request::Kind::kSend;
+  r.dst_ = dst;
+  r.tag_ = tag;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  r.payload_.assign(p, p + bytes);
+  r.test();  // attempt immediate delivery
+  return r;
+}
+
+Request Comm::irecv(int source, int tag) {
+  Request r;
+  r.comm_ = this;
+  r.kind_ = Request::Kind::kRecv;
+  r.want_src_ = source;
+  r.want_tag_ = tag;
+  r.test();
+  return r;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  DPGEN_CHECK(kind_ != Kind::kInvalid, "test() on an empty Request");
+  if (kind_ == Kind::kSend) {
+    if (comm_->try_send(dst_, tag_, payload_.data(), payload_.size())) {
+      payload_.clear();
+      payload_.shrink_to_fit();
+      done_ = true;
+    }
+  } else {
+    if (auto m = comm_->try_recv_match(want_src_, want_tag_)) {
+      received_ = std::move(*m);
+      done_ = true;
+    }
+  }
+  return done_;
+}
+
+void Request::wait() {
+  while (!test()) std::this_thread::yield();
+}
+
+const Message& Request::message() const {
+  DPGEN_CHECK(kind_ == Kind::kRecv && done_,
+              "message() requires a completed receive request");
+  return received_;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+  std::uint64_t gen = world_->barrier_generation_;
+  if (++world_->barrier_arrived_ == size()) {
+    world_->barrier_arrived_ = 0;
+    ++world_->barrier_generation_;
+    world_->barrier_cv_.notify_all();
+    return;
+  }
+  world_->barrier_cv_.wait(
+      lock, [&] { return world_->barrier_generation_ != gen; });
+}
+
+Int Comm::allreduce_sum(Int value) {
+  return world_->allreduce_round<Int>(value, false, world_->accum_int_,
+                                      world_->result_int_);
+}
+
+double Comm::allreduce_sum(double value) {
+  return world_->allreduce_round<double>(value, false, world_->accum_dbl_,
+                                         world_->result_dbl_);
+}
+
+double Comm::allreduce_max(double value) {
+  return world_->allreduce_round<double>(value, true, world_->accum_dbl_,
+                                         world_->result_dbl_);
+}
+
+namespace {
+/// Tag space reserved for collectives; user tags are nonnegative ints so
+/// these cannot collide.
+constexpr int kBcastTag = -101;
+constexpr int kGatherTag = -102;
+}  // namespace
+
+void Comm::broadcast(int root, void* data, std::size_t bytes) {
+  DPGEN_CHECK(root >= 0 && root < size(), "broadcast: invalid root");
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kBcastTag, data, bytes);
+  } else {
+    while (true) {
+      if (auto m = try_recv_match(root, kBcastTag)) {
+        DPGEN_CHECK(m->payload.size() == bytes,
+                    "broadcast: payload size mismatch");
+        std::memcpy(data, m->payload.data(), bytes);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  barrier();
+}
+
+void Comm::gather(int root, const void* send_buf, std::size_t bytes,
+                  std::vector<std::uint8_t>* out) {
+  DPGEN_CHECK(root >= 0 && root < size(), "gather: invalid root");
+  if (rank_ == root) {
+    DPGEN_CHECK(out != nullptr, "gather: root needs an output buffer");
+    out->assign(static_cast<std::size_t>(size()) * bytes, 0);
+    const auto* self = static_cast<const std::uint8_t*>(send_buf);
+    std::copy(self, self + bytes,
+              out->begin() +
+                  static_cast<std::ptrdiff_t>(
+                      static_cast<std::size_t>(rank_) * bytes));
+    for (int received = 0; received < size() - 1;) {
+      if (auto m = try_recv_match(-1, kGatherTag)) {
+        DPGEN_CHECK(m->payload.size() == bytes,
+                    "gather: payload size mismatch");
+        std::copy(m->payload.begin(), m->payload.end(),
+                  out->begin() + static_cast<std::ptrdiff_t>(
+                                     static_cast<std::size_t>(m->source) *
+                                     bytes));
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  } else {
+    send(root, kGatherTag, send_buf, bytes);
+  }
+  barrier();
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(comms_.size());
+  for (std::size_t r = 0; r < comms_.size(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*comms_[r]);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace dpgen::minimpi

@@ -1,0 +1,215 @@
+#pragma once
+// minimpi: an in-process message-passing substrate with MPI-like semantics.
+//
+// The paper's generated programs are hybrid OpenMP + MPI; this container
+// has no MPI installation, so minimpi supplies the message-passing layer
+// (see DESIGN.md, substitutions): ranks run as std::threads inside one
+// process, each with a tagged mailbox.  Sends copy the payload into the
+// destination mailbox (blocking when the mailbox is at capacity, which
+// models the generated programs' configurable number of send/receive
+// buffers); receives are by polling (iprobe/try_recv) or blocking (recv).
+// Collectives (barrier, allreduce) follow MPI semantics.
+//
+// Everything the runtime does with this interface maps 1:1 onto real MPI
+// calls (MPI_Send/MPI_Iprobe/MPI_Recv/MPI_Barrier/MPI_Allreduce), so
+// generated code can be retargeted by swapping this header's backend.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace dpgen::minimpi {
+
+/// One delivered message: source rank, user tag and a byte payload.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class World;
+
+class Comm;
+
+/// Handle for a nonblocking operation (MPI_Request analogue).  Obtained
+/// from Comm::isend / Comm::irecv; poll with test() or block with wait().
+/// Requests are movable, single-owner, and must not outlive their Comm.
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation completed (idempotent after completion).
+  bool test();
+
+  /// Blocks (by polling) until completion.
+  void wait();
+
+  bool done() const { return done_; }
+
+  /// The received message; only valid for completed irecv requests.
+  const Message& message() const;
+
+ private:
+  friend class Comm;
+  enum class Kind { kInvalid, kSend, kRecv };
+
+  Comm* comm_ = nullptr;
+  Kind kind_ = Kind::kInvalid;
+  bool done_ = false;
+  // send state
+  int dst_ = -1;
+  int tag_ = 0;
+  std::vector<std::uint8_t> payload_;
+  // recv state
+  int want_src_ = -1;  // -1 = any
+  int want_tag_ = -1;  // -1 = any
+  Message received_;
+};
+
+/// A rank's endpoint: everything a node runtime needs to communicate.
+/// Thread-safe: multiple worker threads of one rank may use it concurrently
+/// (the generated programs poll under a lock; minimpi locks internally).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Copies `bytes` of `data` into rank `dst`'s mailbox.  Blocks while the
+  /// destination mailbox is at capacity (capacity 0 = unbounded).
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Non-blocking send: returns false (without sending) when the
+  /// destination mailbox is at capacity.  Callers that hold work to do —
+  /// like the tile worker loop — use this and service their own mailbox
+  /// while waiting, which avoids cyclic send deadlocks under small buffer
+  /// budgets.
+  bool try_send(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// True when a message is waiting; fills src/tag when non-null.
+  bool iprobe(int* src = nullptr, int* tag = nullptr);
+
+  /// Pops the oldest waiting message, if any.
+  std::optional<Message> try_recv();
+
+  /// Blocks until a message arrives.
+  Message recv();
+
+  /// Nonblocking send: the payload is copied immediately; delivery
+  /// happens on test()/wait() when the destination mailbox has space
+  /// (immediately when unbounded).
+  Request isend(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Nonblocking receive matching source/tag (-1 = any).  Completion is
+  /// checked on test()/wait(); the matched message may arrive out of
+  /// arrival order relative to non-matching messages (MPI matching).
+  Request irecv(int source = -1, int tag = -1);
+
+  /// Pops the oldest message matching source/tag (-1 = any), if present.
+  std::optional<Message> try_recv_match(int source, int tag);
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Sum-reduction over all ranks; every rank receives the total.
+  Int allreduce_sum(Int value);
+  double allreduce_sum(double value);
+
+  /// Max-reduction over all ranks.
+  double allreduce_max(double value);
+
+  /// Broadcast: every rank receives root's bytes (MPI_Bcast semantics —
+  /// all ranks call with the same root; buffers must be `bytes` long).
+  void broadcast(int root, void* data, std::size_t bytes);
+
+  /// Gather: root receives size() payloads concatenated in rank order
+  /// (each rank contributes `bytes` bytes); non-root out stays untouched.
+  void gather(int root, const void* send, std::size_t bytes,
+              std::vector<std::uint8_t>* out);
+
+  // ---- statistics (atomic: several worker threads share one Comm) ---------
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Number of sends that found the destination mailbox full.
+  std::uint64_t blocked_sends() const { return blocked_sends_; }
+
+ private:
+  friend class World;
+  World* world_ = nullptr;
+  int rank_ = -1;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> blocked_sends_{0};
+};
+
+/// A communicator world of `nranks` ranks within this process.
+class World {
+ public:
+  /// mailbox_capacity bounds the per-rank receive queue (0 = unbounded),
+  /// modelling the paper's configurable send/receive buffer counts.
+  explicit World(int nranks, std::size_t mailbox_capacity = 0);
+
+  int size() const { return static_cast<int>(comms_.size()); }
+  Comm& comm(int rank) { return *comms_[static_cast<std::size_t>(rank)]; }
+
+  /// Runs fn(comm) on every rank, each on its own thread, and joins them.
+  /// The first exception thrown by any rank is rethrown here.
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Message> queue;
+  };
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Comm>> comms_;  // Comm holds atomics: pinned
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Barrier state.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Allreduce state (guarded by barrier_mu_ as well).  All ranks must call
+  // matching collectives in the same order, like MPI.
+  int reduce_arrived_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  Int accum_int_ = 0, result_int_ = 0;
+  double accum_dbl_ = 0.0, result_dbl_ = 0.0;
+
+  /// One sum/max round shared by the allreduce overloads.
+  template <typename T>
+  T allreduce_round(T value, bool take_max, T& accum, T& result) {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    std::uint64_t gen = reduce_generation_;
+    if (reduce_arrived_ == 0) accum = value;
+    else if (take_max)
+      accum = accum < value ? value : accum;
+    else
+      accum = accum + value;
+    if (++reduce_arrived_ == size()) {
+      reduce_arrived_ = 0;
+      result = accum;
+      ++reduce_generation_;
+      barrier_cv_.notify_all();
+      return result;
+    }
+    barrier_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+    return result;
+  }
+};
+
+}  // namespace dpgen::minimpi

@@ -1,0 +1,29 @@
+#include "poly/count.hpp"
+
+#include "support/error.hpp"
+
+namespace dpgen::poly {
+
+LatticeCounter::LatticeCounter(const System& sys, std::vector<int> order)
+    : order_(std::move(order)), nest_(LoopNest::build(sys, order_)) {}
+
+Int LatticeCounter::count(const IntVec& seed) const {
+  if (nest_.levels() == 0) return 1;
+  IntVec point = seed;
+  return count_level(point, 0);
+}
+
+Int LatticeCounter::count_level(IntVec& point, int level) const {
+  auto [lo, hi] = nest_.range(level, point);
+  if (lo > hi) return 0;
+  if (level == nest_.levels() - 1) return sub_ck(hi, lo) + 1;
+  Int total = 0;
+  auto v = static_cast<std::size_t>(nest_.var_at(level));
+  for (Int x = lo; x <= hi; ++x) {
+    point[v] = x;
+    total = add_ck(total, count_level(point, level + 1));
+  }
+  return total;
+}
+
+}  // namespace dpgen::poly

@@ -1,0 +1,33 @@
+#pragma once
+// Exact integer-point counting over a constraint system.
+//
+// This is the exact half of the Barvinok substitute (see DESIGN.md): the
+// load balancer and the tests need "number of lattice points" both for whole
+// spaces and for spaces with some variables fixed.  Counting scans the
+// outer d-1 levels of a LoopNest and closes the innermost level in constant
+// time, so the cost is proportional to the number of points in the
+// projection onto the outer variables.
+
+#include "poly/loopnest.hpp"
+
+namespace dpgen::poly {
+
+/// Counts integer points of `sys` over the scan variables in `order`, with
+/// all other variables fixed to their values in `seed`.
+class LatticeCounter {
+ public:
+  LatticeCounter(const System& sys, std::vector<int> order);
+
+  /// Number of lattice points; `seed` must assign every non-scan variable.
+  Int count(const IntVec& seed) const;
+
+  const LoopNest& nest() const { return nest_; }
+
+ private:
+  Int count_level(IntVec& point, int level) const;
+
+  std::vector<int> order_;
+  LoopNest nest_;
+};
+
+}  // namespace dpgen::poly

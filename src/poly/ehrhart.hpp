@@ -1,0 +1,112 @@
+#pragma once
+// Ehrhart (quasi-)polynomial construction — the Barvinok-library substitute.
+//
+// The paper's load balancer (section IV.J) uses the Barvinok library to
+// obtain two Ehrhart polynomials: the total work of the problem as a
+// function of the input parameters, and the work of all tiles with fixed
+// load-balanced tile indices.  We do not have Barvinok, so we reconstruct
+// the (quasi-)polynomials by exact rational interpolation: lattice-point
+// counts are polynomial of bounded degree in each parameter on each residue
+// class of a fixed period (Ehrhart's theorem), so counting at a tensor grid
+// of sample points and solving the Vandermonde system over Q recovers the
+// polynomial exactly.  Fits are validated on held-out samples; a failed
+// validation reports "no fit" and callers fall back to exact counting.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+#include "support/vec.hpp"
+
+namespace dpgen::poly {
+
+/// A multivariate polynomial with rational coefficients.
+class Polynomial {
+ public:
+  explicit Polynomial(int nvars) : nvars_(nvars) {}
+
+  int nvars() const { return nvars_; }
+
+  /// Adds coef * prod_i x_i^exps[i]; merges with an existing term.
+  void add_term(const std::vector<int>& exps, const Rat& coef);
+
+  Rat eval(const IntVec& values) const;
+
+  /// Total degree (max over terms of sum of exponents); -1 for the zero
+  /// polynomial.
+  int degree() const;
+
+  /// Renders e.g. "(1/24)*N^4 + (5/12)*N^2" with the given variable names.
+  std::string to_string(const std::vector<std::string>& names) const;
+
+  /// Renders a C++ expression computing the (integer) value with long long
+  /// arithmetic: "(<numerator poly>) / <common denominator>".  Only valid
+  /// to emit for polynomials that take integer values on the intended
+  /// argument set (Ehrhart polynomials do).
+  std::string to_cpp(const std::vector<std::string>& names) const;
+
+  const std::map<std::vector<int>, Rat>& terms() const { return terms_; }
+
+ private:
+  int nvars_;
+  std::map<std::vector<int>, Rat> terms_;
+};
+
+/// A quasi-polynomial: one Polynomial per residue class of the arguments
+/// modulo per-variable periods.
+class QuasiPolynomial {
+ public:
+  QuasiPolynomial(std::vector<Int> periods) : periods_(std::move(periods)) {}
+
+  const std::vector<Int>& periods() const { return periods_; }
+  int nvars() const { return static_cast<int>(periods_.size()); }
+
+  void set_class(const IntVec& residues, Polynomial poly);
+  const Polynomial& class_for(const IntVec& values) const;
+
+  Rat eval(const IntVec& values) const;
+
+  /// Evaluates and asserts the result is an integer (counts always are).
+  Int eval_int(const IntVec& values) const;
+
+  /// All residue classes, for code emission.
+  const std::map<IntVec, Polynomial>& classes() const { return classes_; }
+
+ private:
+  IntVec residues_of(const IntVec& values) const;
+
+  std::vector<Int> periods_;
+  std::map<IntVec, Polynomial> classes_;
+};
+
+/// Controls for fit_quasi_polynomial.
+struct FitOptions {
+  /// Per-variable degree bound of the polynomial (use the polytope
+  /// dimension; Ehrhart degree never exceeds it).
+  std::vector<int> degree;
+  /// Per-variable periods (1 = plain polynomial).  Use lcm-of-tile-width
+  /// style periods when the first fit fails validation.
+  std::vector<Int> periods;
+  /// Smallest argument value to sample, per variable.  Choose large enough
+  /// that the counted polytope is in its "stable" shape if clipping at
+  /// small sizes makes the count non-quasi-polynomial there.
+  IntVec base;
+  /// Extra held-out samples per variable used to validate the fit.
+  int validation_samples = 2;
+};
+
+/// Fits count(.) as a quasi-polynomial.  Returns nullopt when the held-out
+/// validation fails (the function is not quasi-polynomial with the given
+/// degree/periods over the sampled range).
+std::optional<QuasiPolynomial> fit_quasi_polynomial(
+    const std::function<Int(const IntVec&)>& count, const FitOptions& opt);
+
+/// Solves the square linear system A x = b exactly over Q by Gaussian
+/// elimination with partial (nonzero) pivoting.  Throws when singular.
+std::vector<Rat> solve_linear_system(std::vector<std::vector<Rat>> a,
+                                     std::vector<Rat> b);
+
+}  // namespace dpgen::poly

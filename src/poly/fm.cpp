@@ -1,0 +1,97 @@
+#include "poly/fm.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dpgen::poly {
+
+namespace {
+thread_local FmStats g_last_stats;
+}  // namespace
+
+FmStats fm_last_stats() { return g_last_stats; }
+
+System fm_eliminate(const System& sys, int var) {
+  DPGEN_ASSERT(var >= 0 && var < sys.vars().size());
+
+  // Pivot on an equality with coefficient +-1 on `var` when available:
+  //   var = -(rest)/a  substituted into every other constraint exactly.
+  for (const auto& c : sys.constraints()) {
+    if (c.rel != Rel::Eq) continue;
+    Int a = c.e.coef(var);
+    if (a != 1 && a != -1) continue;
+    // a*var + rest == 0  =>  var == -rest/a; with a==±1 this is integral.
+    LinExpr rest = c.e;
+    rest.set_coef(var, 0);
+    // var_expr = -rest * a  (since a is ±1, 1/a == a)
+    LinExpr var_expr = (-rest) * a;
+    System out(sys.vars());
+    for (const auto& o : sys.constraints()) {
+      if (&o == &c) continue;
+      Int b = o.e.coef(var);
+      Constraint n = o;
+      if (b != 0) {
+        n.e.set_coef(var, 0);
+        n.e += var_expr * b;
+      }
+      out.add(std::move(n));
+    }
+    g_last_stats = {static_cast<long long>(sys.constraints().size()),
+                    static_cast<long long>(out.constraints().size())};
+    out.simplify();
+    return out;
+  }
+
+  // Expand remaining equalities touching `var` into two inequalities, then
+  // combine every (lower, upper) pair.
+  std::vector<LinExpr> lowers;  // a*var + rest >= 0 with a > 0
+  std::vector<LinExpr> uppers;  // a*var + rest >= 0 with a < 0
+  System out(sys.vars());
+  auto classify = [&](const LinExpr& e) {
+    Int a = e.coef(var);
+    if (a > 0)
+      lowers.push_back(e);
+    else if (a < 0)
+      uppers.push_back(e);
+    else
+      out.add_ge(e);
+  };
+  for (const auto& c : sys.constraints()) {
+    if (c.rel == Rel::Ge) {
+      if (c.e.coef(var) == 0) {
+        out.add(c);
+      } else {
+        classify(c.e);
+      }
+    } else {  // equality: e == 0  ->  e >= 0 and -e >= 0
+      if (c.e.coef(var) == 0) {
+        out.add(c);
+      } else {
+        classify(c.e);
+        classify(-c.e);
+      }
+    }
+  }
+
+  long long produced = static_cast<long long>(out.constraints().size());
+  for (const auto& lo : lowers) {
+    Int a = lo.coef(var);  // > 0
+    for (const auto& up : uppers) {
+      Int b = neg_ck(up.coef(var));  // > 0
+      // a*var >= -lo_rest  and  b*var <= up_rest:
+      // combine as  b*lo + a*up >= 0  (var cancels).
+      LinExpr combined = lo * b + up * a;
+      DPGEN_ASSERT(combined.coef(var) == 0);
+      combined.reduce_gcd();
+      out.add_ge(std::move(combined));
+      ++produced;
+    }
+  }
+  out.simplify();
+  g_last_stats = {produced,
+                  static_cast<long long>(out.constraints().size())};
+  return out;
+}
+
+}  // namespace dpgen::poly

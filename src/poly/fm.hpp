@@ -1,0 +1,31 @@
+#pragma once
+// Fourier-Motzkin elimination (paper section IV.D).
+//
+// The generator uses FM elimination everywhere a variable must be projected
+// out of a system of linear inequalities: building the tile space from the
+// extended system, deriving per-level loop bounds, building the
+// load-balancing space, and constructing initial-tile face systems.
+//
+// Naive FM can square the constraint count at every step, so duplicate and
+// syntactically-dominated constraints are pruned after each elimination,
+// exactly as the paper describes.
+
+#include "poly/system.hpp"
+
+namespace dpgen::poly {
+
+/// Eliminates variable `var` from `sys` by Fourier-Motzkin.  Equalities
+/// mentioning `var` are used as a pivot when possible (unit coefficient) and
+/// otherwise expanded into two inequalities.  The result is simplified.
+System fm_eliminate(const System& sys, int var);
+
+/// Counters exposed for the FMPERF benchmark: constraints produced before
+/// pruning / after pruning by the most recent fm_eliminate call in this
+/// thread.
+struct FmStats {
+  long long produced = 0;
+  long long kept = 0;
+};
+FmStats fm_last_stats();
+
+}  // namespace dpgen::poly

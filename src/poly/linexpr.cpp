@@ -1,0 +1,116 @@
+#include "poly/linexpr.hpp"
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::poly {
+
+Vars::Vars(std::vector<std::string> names) {
+  for (auto& n : names) add(n);
+}
+
+int Vars::add(const std::string& name) {
+  DPGEN_CHECK(is_identifier(name),
+              cat("variable name '", name, "' is not a valid identifier"));
+  DPGEN_CHECK(index_of(name) < 0, cat("duplicate variable name '", name, "'"));
+  names_.push_back(name);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+int Vars::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+int Vars::require(const std::string& name) const {
+  int i = index_of(name);
+  DPGEN_CHECK(i >= 0, cat("unknown variable '", name, "'"));
+  return i;
+}
+
+const std::string& Vars::name(int i) const {
+  DPGEN_ASSERT(i >= 0 && i < size());
+  return names_[static_cast<std::size_t>(i)];
+}
+
+LinExpr LinExpr::term(int nvars, int idx, Int coef) {
+  LinExpr e(nvars);
+  DPGEN_ASSERT(idx >= 0 && idx < nvars);
+  e.coeffs[static_cast<std::size_t>(idx)] = coef;
+  return e;
+}
+
+Int LinExpr::eval(const IntVec& point) const {
+  DPGEN_ASSERT(point.size() == coeffs.size());
+  return add_ck(vec_dot(coeffs, point), c);
+}
+
+LinExpr LinExpr::operator-() const {
+  LinExpr r(nvars());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) r.coeffs[i] = neg_ck(coeffs[i]);
+  r.c = neg_ck(c);
+  return r;
+}
+
+LinExpr operator+(const LinExpr& a, const LinExpr& b) {
+  DPGEN_ASSERT(a.coeffs.size() == b.coeffs.size());
+  LinExpr r(a.nvars());
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i)
+    r.coeffs[i] = add_ck(a.coeffs[i], b.coeffs[i]);
+  r.c = add_ck(a.c, b.c);
+  return r;
+}
+
+LinExpr operator-(const LinExpr& a, const LinExpr& b) { return a + (-b); }
+
+LinExpr operator*(const LinExpr& a, Int s) {
+  LinExpr r(a.nvars());
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i)
+    r.coeffs[i] = mul_ck(a.coeffs[i], s);
+  r.c = mul_ck(a.c, s);
+  return r;
+}
+
+Int LinExpr::reduce_gcd() {
+  Int g = 0;
+  for (Int v : coeffs) g = gcd(g, v);
+  g = gcd(g, c);
+  if (g > 1) {
+    for (auto& v : coeffs) v /= g;
+    c /= g;
+    return g;
+  }
+  return 1;
+}
+
+std::string LinExpr::to_string(const Vars& vars) const {
+  DPGEN_ASSERT(static_cast<int>(coeffs.size()) == vars.size());
+  std::string out;
+  for (int i = 0; i < nvars(); ++i) {
+    Int a = coeffs[static_cast<std::size_t>(i)];
+    if (a == 0) continue;
+    if (out.empty()) {
+      if (a == -1)
+        out += "-";
+      else if (a != 1)
+        out += std::to_string(a) + "*";
+    } else {
+      out += (a > 0) ? " + " : " - ";
+      Int m = a > 0 ? a : neg_ck(a);
+      if (m != 1) out += std::to_string(m) + "*";
+    }
+    out += vars.name(i);
+  }
+  if (c != 0 || out.empty()) {
+    if (out.empty()) {
+      out = std::to_string(c);
+    } else {
+      out += (c > 0) ? " + " : " - ";
+      out += std::to_string(c > 0 ? c : neg_ck(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpgen::poly

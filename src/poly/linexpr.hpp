@@ -1,0 +1,92 @@
+#pragma once
+// Variable tables and affine (linear + constant) integer expressions.
+//
+// Every polyhedral object in dpgen is expressed over an ordered variable
+// table (poly::Vars).  A LinExpr is a dense row of coefficients over that
+// table plus a constant term; constraint systems, loop bounds and mapping
+// functions are all built from LinExprs.
+
+#include <string>
+#include <vector>
+
+#include "support/vec.hpp"
+
+namespace dpgen::poly {
+
+/// An ordered, uniquely-named set of variables.  The order defines the
+/// coefficient layout of every LinExpr built against this table.
+class Vars {
+ public:
+  Vars() = default;
+  explicit Vars(std::vector<std::string> names);
+
+  /// Appends a new variable; throws if the name is not a fresh identifier.
+  int add(const std::string& name);
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Index of `name`, or -1 when absent.
+  int index_of(const std::string& name) const;
+
+  /// Index of `name`; throws when absent.
+  int require(const std::string& name) const;
+
+  const std::string& name(int i) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  friend bool operator==(const Vars& a, const Vars& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// The affine form  coeffs . x + c  over some Vars table.
+struct LinExpr {
+  IntVec coeffs;
+  Int c = 0;
+
+  LinExpr() = default;
+  explicit LinExpr(int nvars, Int constant = 0)
+      : coeffs(static_cast<std::size_t>(nvars), 0), c(constant) {}
+
+  /// The expression consisting of `coef * x_idx`.
+  static LinExpr term(int nvars, int idx, Int coef = 1);
+
+  int nvars() const { return static_cast<int>(coeffs.size()); }
+
+  /// True when all coefficients are zero.
+  bool is_constant() const { return vec_is_zero(coeffs); }
+
+  /// Value at an integer point (point.size() == nvars()).
+  Int eval(const IntVec& point) const;
+
+  /// Coefficient of variable idx.
+  Int coef(int idx) const { return coeffs[static_cast<std::size_t>(idx)]; }
+  void set_coef(int idx, Int v) { coeffs[static_cast<std::size_t>(idx)] = v; }
+
+  LinExpr operator-() const;
+  friend LinExpr operator+(const LinExpr& a, const LinExpr& b);
+  friend LinExpr operator-(const LinExpr& a, const LinExpr& b);
+  /// Multiplies all coefficients and the constant by s.
+  friend LinExpr operator*(const LinExpr& a, Int s);
+  LinExpr& operator+=(const LinExpr& o) { return *this = *this + o; }
+  LinExpr& operator-=(const LinExpr& o) { return *this = *this - o; }
+
+  friend bool operator==(const LinExpr& a, const LinExpr& b) {
+    return a.coeffs == b.coeffs && a.c == b.c;
+  }
+
+  /// Divides every coefficient and the constant by their (positive) gcd.
+  /// Returns the divisor used (1 when already primitive or all-zero).
+  Int reduce_gcd();
+
+  /// Renders e.g. "2*s1 - f1 + 3" using names from `vars`.
+  std::string to_string(const Vars& vars) const;
+
+  /// Renders as a C expression, e.g. "2*s1 - f1 + 3"; "0" when empty.
+  std::string to_cpp(const Vars& vars) const { return to_string(vars); }
+};
+
+}  // namespace dpgen::poly

@@ -1,0 +1,71 @@
+#include "poly/loopnest.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dpgen::poly {
+
+LoopNest LoopNest::build(const System& sys, const std::vector<int>& order,
+                         const std::vector<int>& dirs) {
+  LoopNest nest;
+  nest.order_ = order;
+  const int m = static_cast<int>(order.size());
+  DPGEN_CHECK(dirs.empty() || dirs.size() == order.size(),
+              "LoopNest: dirs must match order length");
+  nest.dirs_ = dirs.empty() ? std::vector<int>(order.size(), 1) : dirs;
+  nest.lowers_.resize(static_cast<std::size_t>(m));
+  nest.uppers_.resize(static_cast<std::size_t>(m));
+
+  // levels[k] = system with scan vars k+1..m-1 eliminated.
+  System cur = sys;
+  cur.simplify();
+  if (cur.known_infeasible()) nest.infeasible_ = true;
+  for (int k = m - 1; k >= 0; --k) {
+    const int v = order[static_cast<std::size_t>(k)];
+    auto& lo = nest.lowers_[static_cast<std::size_t>(k)];
+    auto& up = nest.uppers_[static_cast<std::size_t>(k)];
+    for (const auto& c : cur.constraints()) {
+      Int a = c.e.coef(v);
+      if (a == 0) continue;
+      Bound b;
+      b.coef = a;
+      b.rest = c.e;
+      b.rest.set_coef(v, 0);
+      if (c.rel == Rel::Eq) {
+        // e == 0 contributes both a lower and an upper bound.
+        Bound b2;
+        b2.coef = neg_ck(a);
+        b2.rest = -b.rest;
+        (b.coef > 0 ? lo : up).push_back(b);
+        (b2.coef > 0 ? lo : up).push_back(b2);
+      } else {
+        (a > 0 ? lo : up).push_back(std::move(b));
+      }
+    }
+    if (lo.empty() || up.empty()) nest.unbounded_ = true;
+    if (k > 0) {
+      cur = cur.eliminated(v);
+      if (cur.known_infeasible()) nest.infeasible_ = true;
+    }
+  }
+  return nest;
+}
+
+std::pair<Int, Int> LoopNest::range(int level, const IntVec& point) const {
+  if (infeasible_) return {0, -1};
+  const auto& lo = lowers_[static_cast<std::size_t>(level)];
+  const auto& up = uppers_[static_cast<std::size_t>(level)];
+  DPGEN_CHECK(!lo.empty() && !up.empty(),
+              "loop nest variable is unbounded; iteration space must be a "
+              "bounded polytope");
+  Int l = lo.front().value(point);
+  for (std::size_t i = 1; i < lo.size(); ++i)
+    l = std::max(l, lo[i].value(point));
+  Int u = up.front().value(point);
+  for (std::size_t i = 1; i < up.size(); ++i)
+    u = std::min(u, up[i].value(point));
+  return {l, u};
+}
+
+}  // namespace dpgen::poly

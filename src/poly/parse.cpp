@@ -1,0 +1,177 @@
+#include "poly/parse.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::poly {
+
+namespace {
+
+struct Lexer {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= s.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos < s.size() ? s[pos] : '\0';
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  std::optional<Int> number() {
+    skip_ws();
+    if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+      return std::nullopt;
+    Int v = 0;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      v = add_ck(mul_ck(v, 10), s[pos] - '0');
+      ++pos;
+    }
+    return v;
+  }
+  std::optional<std::string> ident() {
+    skip_ws();
+    if (pos >= s.size() ||
+        !(std::isalpha(static_cast<unsigned char>(s[pos])) || s[pos] == '_'))
+      return std::nullopt;
+    std::size_t start = pos;
+    while (pos < s.size() && (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                              s[pos] == '_'))
+      ++pos;
+    return s.substr(start, pos - start);
+  }
+  [[noreturn]] void fail(const std::string& why) {
+    raise(cat("cannot parse '", s, "': ", why, " (at offset ", pos, ")"));
+  }
+};
+
+/// term := number ['*' ident] | ident ['*' number]
+LinExpr parse_term(Lexer& lx, const Vars& vars) {
+  if (auto n = lx.number()) {
+    if (lx.eat('*')) {
+      auto id = lx.ident();
+      if (!id) lx.fail("expected variable after '*'");
+      int idx = vars.index_of(*id);
+      if (idx < 0) lx.fail(cat("unknown variable '", *id, "'"));
+      return LinExpr::term(vars.size(), idx, *n);
+    }
+    LinExpr e(vars.size());
+    e.c = *n;
+    return e;
+  }
+  if (auto id = lx.ident()) {
+    int idx = vars.index_of(*id);
+    if (idx < 0) lx.fail(cat("unknown variable '", *id, "'"));
+    Int coef = 1;
+    if (lx.eat('*')) {
+      auto n = lx.number();
+      if (!n) lx.fail("expected number after '*'");
+      coef = *n;
+    }
+    return LinExpr::term(vars.size(), idx, coef);
+  }
+  lx.fail("expected a number or variable");
+}
+
+/// signed_term := ('+'|'-')* term
+LinExpr parse_signed_term(Lexer& lx, const Vars& vars) {
+  bool neg = false;
+  while (true) {
+    if (lx.eat('-'))
+      neg = !neg;
+    else if (!lx.eat('+'))
+      break;
+  }
+  LinExpr t = parse_term(lx, vars);
+  return neg ? -t : t;
+}
+
+/// expr := signed_term (('+'|'-') signed_term)*
+LinExpr parse_sum(Lexer& lx, const Vars& vars) {
+  LinExpr acc = parse_signed_term(lx, vars);
+  while (true) {
+    if (lx.eat('+')) {
+      acc += parse_signed_term(lx, vars);
+    } else if (lx.peek() == '-') {
+      lx.eat('-');
+      acc -= parse_signed_term(lx, vars);
+    } else {
+      break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+LinExpr parse_expr(const std::string& text, const Vars& vars) {
+  Lexer lx{text};
+  LinExpr e = parse_sum(lx, vars);
+  if (!lx.done()) lx.fail("unexpected trailing input");
+  return e;
+}
+
+Constraint parse_constraint(const std::string& text, const Vars& vars) {
+  Lexer lx{text};
+  LinExpr lhs = parse_sum(lx, vars);
+
+  enum class Op { Le, Ge, Lt, Gt, Eq };
+  Op op;
+  if (lx.eat('<')) {
+    op = lx.eat('=') ? Op::Le : Op::Lt;
+  } else if (lx.eat('>')) {
+    op = lx.eat('=') ? Op::Ge : Op::Gt;
+  } else if (lx.eat('=')) {
+    lx.eat('=');  // accept both '=' and '=='
+    op = Op::Eq;
+  } else {
+    lx.fail("expected a comparison operator (<=, >=, <, >, ==)");
+  }
+
+  LinExpr rhs = parse_sum(lx, vars);
+  if (!lx.done()) lx.fail("unexpected trailing input");
+
+  Constraint c;
+  switch (op) {
+    case Op::Le:  // lhs <= rhs  ->  rhs - lhs >= 0
+      c = {rhs - lhs, Rel::Ge};
+      break;
+    case Op::Lt: {  // lhs < rhs  ->  rhs - lhs - 1 >= 0
+      LinExpr e = rhs - lhs;
+      e.c = sub_ck(e.c, 1);
+      c = {std::move(e), Rel::Ge};
+      break;
+    }
+    case Op::Ge:  // lhs >= rhs  ->  lhs - rhs >= 0
+      c = {lhs - rhs, Rel::Ge};
+      break;
+    case Op::Gt: {  // lhs > rhs  ->  lhs - rhs - 1 >= 0
+      LinExpr e = lhs - rhs;
+      e.c = sub_ck(e.c, 1);
+      c = {std::move(e), Rel::Ge};
+      break;
+    }
+    case Op::Eq:
+      c = {lhs - rhs, Rel::Eq};
+      break;
+  }
+  return c;
+}
+
+}  // namespace dpgen::poly

@@ -1,0 +1,22 @@
+#pragma once
+// Textual constraint parsing for the generator input format.
+//
+// Accepts affine comparisons over named variables, e.g.
+//   "s1 + f1 + s2 + f2 <= N",  "x >= 0",  "2*i - j == k - 1",  "a < b".
+// Strict comparisons are converted to their integer-equivalent non-strict
+// forms (a < b  becomes  a <= b - 1).
+
+#include <string>
+
+#include "poly/system.hpp"
+
+namespace dpgen::poly {
+
+/// Parses one affine expression, e.g. "2*s1 - f1 + 3".  Throws dpgen::Error
+/// with a descriptive message on malformed input or unknown variables.
+LinExpr parse_expr(const std::string& text, const Vars& vars);
+
+/// Parses one comparison into a canonical constraint (e >= 0 or e == 0).
+Constraint parse_constraint(const std::string& text, const Vars& vars);
+
+}  // namespace dpgen::poly

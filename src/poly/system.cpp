@@ -1,0 +1,196 @@
+#include "poly/system.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "poly/fm.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::poly {
+
+std::string Constraint::to_string(const Vars& vars) const {
+  return e.to_string(vars) + (rel == Rel::Ge ? " >= 0" : " == 0");
+}
+
+void System::add_ge(LinExpr e) {
+  DPGEN_ASSERT(e.nvars() == vars_.size());
+  cs_.push_back({std::move(e), Rel::Ge});
+}
+
+void System::add_eq(LinExpr e) {
+  DPGEN_ASSERT(e.nvars() == vars_.size());
+  cs_.push_back({std::move(e), Rel::Eq});
+}
+
+void System::add(Constraint c) {
+  DPGEN_ASSERT(c.e.nvars() == vars_.size());
+  cs_.push_back(std::move(c));
+}
+
+bool System::contains(const IntVec& point) const {
+  for (const auto& c : cs_) {
+    Int v = c.e.eval(point);
+    if (c.rel == Rel::Ge ? v < 0 : v != 0) return false;
+  }
+  return true;
+}
+
+void System::normalize() {
+  for (auto& c : cs_) {
+    Int g = 0;
+    for (Int v : c.e.coeffs) g = gcd(g, v);
+    if (g > 1) {
+      for (auto& v : c.e.coeffs) v /= g;
+      if (c.rel == Rel::Ge) {
+        c.e.c = floor_div(c.e.c, g);
+      } else {
+        if (c.e.c % g != 0) {
+          // a.x == c with g | a but g !| c has no integer solution.
+          infeasible_ = true;
+        }
+        c.e.c = floor_div(c.e.c, g);
+      }
+    }
+  }
+}
+
+void System::simplify() {
+  normalize();
+  // Keyed by (rel, coefficient row); keep the tightest constant.
+  // For  a.x + c >= 0  a smaller c is tighter.
+  std::map<std::pair<int, IntVec>, Int> tightest;
+  std::vector<Constraint> out;
+  for (auto& c : cs_) {
+    if (c.e.is_constant()) {
+      bool ok = (c.rel == Rel::Ge) ? (c.e.c >= 0) : (c.e.c == 0);
+      if (!ok) {
+        // Keep the contradiction so infeasibility survives further
+        // eliminations/copies and is rediscovered by any later simplify().
+        infeasible_ = true;
+        out.push_back(c);
+      }
+      continue;  // trivially true constraints are dropped
+    }
+    auto key = std::make_pair(static_cast<int>(c.rel), c.e.coeffs);
+    auto it = tightest.find(key);
+    if (it == tightest.end()) {
+      tightest.emplace(key, c.e.c);
+    } else if (c.rel == Rel::Ge) {
+      it->second = std::min(it->second, c.e.c);
+    } else if (it->second != c.e.c) {
+      infeasible_ = true;  // a.x == c1 and a.x == c2 with c1 != c2
+    }
+  }
+  for (auto& [key, c0] : tightest) {
+    Constraint c;
+    c.rel = static_cast<Rel>(key.first);
+    c.e.coeffs = key.second;
+    c.e.c = c0;
+    out.push_back(std::move(c));
+  }
+  // An equality a.x + c == 0 makes any inequality with coefficients ±a
+  // redundant or infeasibility-revealing; keep it simple and leave those to
+  // FM.  (This pass is about keeping constraint counts small, not minimal.)
+  cs_ = std::move(out);
+}
+
+void System::remove_redundant() {
+  simplify();
+  for (std::size_t i = 0; i < cs_.size();) {
+    if (cs_[i].rel != Rel::Ge) {
+      ++i;
+      continue;
+    }
+    System test(vars_);
+    for (std::size_t j = 0; j < cs_.size(); ++j)
+      if (j != i) test.add(cs_[j]);
+    // Violation of c by at least one: -e - 1 >= 0.
+    LinExpr neg = -cs_[i].e;
+    neg.c = sub_ck(neg.c, 1);
+    test.add_ge(std::move(neg));
+    System projected = test;
+    for (int v = 0; v < vars_.size(); ++v) projected = projected.eliminated(v);
+    projected.simplify();
+    if (projected.known_infeasible()) {
+      cs_.erase(cs_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+System System::eliminated(int var) const { return fm_eliminate(*this, var); }
+
+System System::eliminated_all(const std::vector<int>& vars_to_drop) const {
+  System s = *this;
+  for (int v : vars_to_drop) s = s.eliminated(v);
+  return s;
+}
+
+System System::with_fixed(int var, Int value) const {
+  System s(vars_);
+  for (const auto& c : cs_) {
+    Constraint n = c;
+    Int a = n.e.coef(var);
+    if (a != 0) {
+      n.e.c = add_ck(n.e.c, mul_ck(a, value));
+      n.e.set_coef(var, 0);
+    }
+    s.add(std::move(n));
+  }
+  return s;
+}
+
+std::string System::to_string() const {
+  std::vector<std::string> lines;
+  lines.reserve(cs_.size());
+  for (const auto& c : cs_) lines.push_back(c.to_string(vars_));
+  return join(lines, "\n");
+}
+
+System transform(const System& sys, const Vars& new_vars,
+                 const std::vector<LinExpr>& image) {
+  DPGEN_CHECK(static_cast<int>(image.size()) == sys.vars().size(),
+              "transform: image must cover every old variable");
+  System out(new_vars);
+  for (const auto& c : sys.constraints()) {
+    LinExpr e(new_vars.size(), c.e.c);
+    for (int i = 0; i < c.e.nvars(); ++i) {
+      Int a = c.e.coef(i);
+      if (a != 0) e += image[static_cast<std::size_t>(i)] * a;
+    }
+    out.add({std::move(e), c.rel});
+  }
+  return out;
+}
+
+bool semantically_contains(const System& outer, const System& inner) {
+  DPGEN_CHECK(outer.vars() == inner.vars(),
+              "semantically_contains: variable tables differ");
+  auto violable = [&](LinExpr neg) {
+    // Feasible(inner AND neg >= 0)?
+    System test = inner;
+    test.add_ge(std::move(neg));
+    for (int v = 0; v < test.vars().size(); ++v) test = test.eliminated(v);
+    test.simplify();
+    return !test.known_infeasible();
+  };
+  for (const auto& c : outer.constraints()) {
+    if (c.rel == Rel::Ge) {
+      // Violation: e <= -1.
+      LinExpr neg = -c.e;
+      neg.c = sub_ck(neg.c, 1);
+      if (violable(std::move(neg))) return false;
+    } else {
+      LinExpr lo = c.e;  // violation: e >= 1
+      lo.c = sub_ck(lo.c, 1);
+      LinExpr hi = -c.e;  // violation: e <= -1
+      hi.c = sub_ck(hi.c, 1);
+      if (violable(std::move(lo)) || violable(std::move(hi))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dpgen::poly

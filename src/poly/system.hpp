@@ -1,0 +1,113 @@
+#pragma once
+// Systems of linear constraints (polyhedra) over a Vars table.
+//
+// A System is the central polyhedral object: the user's iteration space,
+// the extended (tiled) space, the tile space, pack/unpack spaces and the
+// load-balancing space are all Systems.  Constraints are stored in the
+// canonical form  e >= 0  or  e == 0.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/linexpr.hpp"
+
+namespace dpgen::poly {
+
+/// Relation of a constraint: expr >= 0 or expr == 0.
+enum class Rel { Ge, Eq };
+
+/// One constraint, `e rel 0`.
+struct Constraint {
+  LinExpr e;
+  Rel rel = Rel::Ge;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) {
+    return a.rel == b.rel && a.e == b.e;
+  }
+  std::string to_string(const Vars& vars) const;
+};
+
+/// A conjunction of linear constraints over an ordered variable table.
+class System {
+ public:
+  System() = default;
+  explicit System(Vars vars) : vars_(std::move(vars)) {}
+
+  const Vars& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return cs_; }
+  int size() const { return static_cast<int>(cs_.size()); }
+  bool empty() const { return cs_.empty(); }
+
+  /// Adds `e >= 0`.
+  void add_ge(LinExpr e);
+  /// Adds `e == 0`.
+  void add_eq(LinExpr e);
+  void add(Constraint c);
+
+  /// True if the point satisfies every constraint (point.size() == nvars).
+  bool contains(const IntVec& point) const;
+
+  /// gcd-reduces each constraint.  For inequalities the constant is
+  /// tightened toward the feasible side (a.x + c >= 0 with gcd(a)=g becomes
+  /// (a/g).x + floor(c/g) >= 0), which is exact over the integers.
+  void normalize();
+
+  /// normalize() + removal of duplicates, of constraints dominated by an
+  /// identical-coefficient tighter constraint, and of trivially-true
+  /// constraints.  Detects trivially-false constraints (see
+  /// known_infeasible()).
+  void simplify();
+
+  /// Removes inequality constraints that are implied by the rest of the
+  /// system over the integers, proven exactly by Fourier-Motzkin: c is
+  /// redundant when (system \ c) AND (c violated by >= 1) is infeasible.
+  /// Quadratic in the constraint count with a full elimination per test;
+  /// intended for small systems (tile spaces), where it keeps the emitted
+  /// membership tests and the initial-tile face bands minimal.
+  void remove_redundant();
+
+  /// True when simplify() discovered a constraint 0 >= c with c < 0 (or
+  /// 0 == c, c != 0).  A false result does NOT prove feasibility.
+  bool known_infeasible() const { return infeasible_; }
+
+  /// Fourier-Motzkin elimination of one variable.  The returned system has
+  /// the same variable table, with no constraint mentioning `var`.  The
+  /// projection is exact over the rationals (and conservative over Z, which
+  /// is what loop scanning requires).
+  System eliminated(int var) const;
+
+  /// Eliminates every variable whose index appears in `vars_to_drop`.
+  System eliminated_all(const std::vector<int>& vars_to_drop) const;
+
+  /// Substitutes a constant value for a variable: occurrences are folded
+  /// into the constant term and the variable's coefficient becomes zero.
+  System with_fixed(int var, Int value) const;
+
+  std::string to_string() const;
+
+ private:
+  Vars vars_;
+  std::vector<Constraint> cs_;
+  bool infeasible_ = false;
+};
+
+/// Rewrites `sys` over a new variable table: each old variable i is replaced
+/// by the affine expression image[i] (expressed over new_vars).
+System transform(const System& sys, const Vars& new_vars,
+                 const std::vector<LinExpr>& image);
+
+/// Proves (by Fourier-Motzkin) that every point of `inner` satisfies
+/// `outer`.  Both systems must share a variable table.  The test is exact
+/// over the rationals and therefore conservative over the integers: a
+/// `true` is a proof; a `false` may occasionally be a rational-only
+/// artifact.  Intended for small systems (test assertions, round-trip
+/// validation).
+bool semantically_contains(const System& outer, const System& inner);
+
+/// Both inclusions: the two systems describe the same integer set.
+inline bool semantically_equal(const System& a, const System& b) {
+  return semantically_contains(a, b) && semantically_contains(b, a);
+}
+
+}  // namespace dpgen::poly

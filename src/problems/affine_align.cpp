@@ -1,0 +1,250 @@
+// Pairwise sequence alignment with affine gap costs (Gotoh), the paper's
+// section-I motivation: "an initial gap cost more (Gap Creation Penalty)
+// than extending an already existing gap (Gap Extension Penalty)".
+//
+// The classic formulation keeps three matrices (M, Ix, Iy); here the
+// matrix index becomes a third, 3-wide dimension z so the problem fits the
+// generator's single-state-array template class:
+//
+//   F(i, j, z) = min over the next operation of
+//     match/mismatch(a_i, b_j)            + F(i+1, j+1, 0)
+//     (z == 1 ? gap_extend : gap_open)    + F(i+1, j,   1)
+//     (z == 2 ? gap_extend : gap_open)    + F(i,   j+1, 2)
+//
+// The target layer of each move is fixed, but the SOURCE layer varies —
+// so each move contributes one template vector per source layer
+// ((1,1,-z), (1,0,1-z), (0,1,2-z) for z in {0,1,2}: nine constant
+// vectors), and the center code selects the right one by z.  The third
+// dimension's offsets are laterally mixed, which the generalised legality
+// rule accepts because every vector leads with a positive i/j component.
+//
+// The answer is F(0, 0, 0): aligning both full suffixes with no open gap.
+
+#include <algorithm>
+#include <vector>
+
+#include "problems/problems.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::problems {
+
+namespace {
+
+double subst(char a, char b, double mismatch) {
+  return a == b ? 0.0 : mismatch;
+}
+
+}  // namespace
+
+Problem align_affine(const std::string& a, const std::string& b,
+                     double mismatch, double gap_open, double gap_extend,
+                     Int tile_width) {
+  DPGEN_CHECK(gap_extend <= gap_open,
+              "affine gaps need gap_extend <= gap_open");
+  Problem p;
+  p.spec.name("align_affine")
+      .params({"L1", "L2"})
+      .vars({"i", "j", "z"})
+      .array("V")
+      .constraint("i >= 0")
+      .constraint("i <= L1")
+      .constraint("j >= 0")
+      .constraint("j <= L2")
+      .constraint("z >= 0")
+      .constraint("z <= 2");
+  // Dependencies: move m in {diag->0, up->1, left->2} from source layer z
+  // reads layer (target - z) away.
+  for (Int z = 0; z <= 2; ++z) {
+    p.spec.dep(cat("diag_z", z), {1, 1, 0 - z});
+    p.spec.dep(cat("up_z", z), {1, 0, 1 - z});
+    p.spec.dep(cat("left_z", z), {0, 1, 2 - z});
+  }
+  p.spec.load_balance({"i", "j"});
+  p.spec.tile_widths({tile_width, tile_width, 3});
+
+  {
+    std::string global = cat("static const char dp_seq_a[] = \"", a,
+                             "\";\nstatic const char dp_seq_b[] = \"", b,
+                             "\";\n");
+    std::string center = cat(
+        "double dp_best = 0.0; int dp_any = 0;\n"
+        "const double dp_mm = ", mismatch, ", dp_go = ", gap_open,
+        ", dp_ge = ", gap_extend, ";\n");
+    for (Int z = 0; z <= 2; ++z) {
+      center += cat(
+          "if (z == ", z, ") {\n",
+          "  if (is_valid_diag_z", z,
+          ") { double c = (dp_seq_a[i] == dp_seq_b[j] ? 0.0 : dp_mm) + "
+          "V[loc_diag_z", z,
+          "]; if (!dp_any || c < dp_best) { dp_best = c; dp_any = 1; } }\n",
+          "  if (is_valid_up_z", z, ") { double c = ",
+          (z == 1 ? "dp_ge" : "dp_go"), " + V[loc_up_z", z,
+          "]; if (!dp_any || c < dp_best) { dp_best = c; dp_any = 1; } }\n",
+          "  if (is_valid_left_z", z, ") { double c = ",
+          (z == 2 ? "dp_ge" : "dp_go"), " + V[loc_left_z", z,
+          "]; if (!dp_any || c < dp_best) { dp_best = c; dp_any = 1; } }\n",
+          "}\n");
+    }
+    // Base cases: both suffixes empty.  One-sided exhaustion is handled by
+    // the surviving gap moves.
+    center += "V[loc] = dp_any ? dp_best : 0.0;\n";
+    p.spec.global_code(global).center_code(center);
+  }
+  p.spec.validate();
+
+  std::string sa = a, sb = b;
+  p.kernel = [sa, sb, mismatch, gap_open, gap_extend](
+                 const engine::Cell& c) {
+    const Int z = c.x[2];
+    // Dep layout: for source layer z, indices are 3*z + {0:diag, 1:up,
+    // 2:left}.
+    const int base = static_cast<int>(3 * z);
+    double best = 0.0;
+    bool any = false;
+    if (c.valid[base + 0]) {
+      double v = subst(sa[static_cast<std::size_t>(c.x[0])],
+                       sb[static_cast<std::size_t>(c.x[1])], mismatch) +
+                 c.V[c.loc_dep[base + 0]];
+      if (!any || v < best) best = v, any = true;
+    }
+    if (c.valid[base + 1]) {
+      double v = (z == 1 ? gap_extend : gap_open) + c.V[c.loc_dep[base + 1]];
+      if (!any || v < best) best = v, any = true;
+    }
+    if (c.valid[base + 2]) {
+      double v = (z == 2 ? gap_extend : gap_open) + c.V[c.loc_dep[base + 2]];
+      if (!any || v < best) best = v, any = true;
+    }
+    c.V[c.loc] = any ? best : 0.0;
+  };
+
+  p.objective = {0, 0, 0};
+
+  p.reference = [sa, sb, mismatch, gap_open, gap_extend](
+                    const IntVec& params) {
+    const Int l1 = params.at(0), l2 = params.at(1);
+    auto idx = [&](Int i, Int j) {
+      return static_cast<std::size_t>(i * (l2 + 1) + j);
+    };
+    const double inf = 1e30;
+    // Suffix-based Gotoh: layer z = previous operation type.
+    std::vector<std::vector<double>> f(
+        3, std::vector<double>(static_cast<std::size_t>((l1 + 1) * (l2 + 1)),
+                               0.0));
+    for (Int i = l1; i >= 0; --i) {
+      for (Int j = l2; j >= 0; --j) {
+        for (Int z = 0; z <= 2; ++z) {
+          double best = inf;
+          bool any = false;
+          if (i < l1 && j < l2) {
+            double v = subst(sa[static_cast<std::size_t>(i)],
+                             sb[static_cast<std::size_t>(j)], mismatch) +
+                       f[0][idx(i + 1, j + 1)];
+            if (v < best) best = v;
+            any = true;
+          }
+          if (i < l1) {
+            double v =
+                (z == 1 ? gap_extend : gap_open) + f[1][idx(i + 1, j)];
+            if (v < best) best = v;
+            any = true;
+          }
+          if (j < l2) {
+            double v =
+                (z == 2 ? gap_extend : gap_open) + f[2][idx(i, j + 1)];
+            if (v < best) best = v;
+            any = true;
+          }
+          f[static_cast<std::size_t>(z)][idx(i, j)] = any ? best : 0.0;
+        }
+      }
+    }
+    return f[0][idx(0, 0)];
+  };
+  return p;
+}
+
+Problem smith_waterman(const std::string& a, const std::string& b,
+                       double match, double mismatch, double gap,
+                       Int tile_width) {
+  DPGEN_CHECK(match > 0 && mismatch <= 0 && gap <= 0,
+              "smith_waterman expects match > 0 and penalties <= 0");
+  Problem p;
+  p.spec.name("smith_waterman")
+      .params({"L1", "L2"})
+      .vars({"i", "j"})
+      .array("V")
+      .constraint("i >= 0")
+      .constraint("i <= L1")
+      .constraint("j >= 0")
+      .constraint("j <= L2")
+      .dep("diag", {1, 1})
+      .dep("del", {1, 0})
+      .dep("ins", {0, 1})
+      .load_balance({"i", "j"})
+      .tile_widths({tile_width, tile_width})
+      .global_code(cat("static const char dp_seq_a[] = \"", a,
+                       "\";\nstatic const char dp_seq_b[] = \"", b, "\";\n"))
+      .center_code(cat(R"(
+double dp_h = 0.0;
+if (is_valid_diag) {
+  double c = (dp_seq_a[i] == dp_seq_b[j] ? )", match, " : ", mismatch,
+                       R"() + V[loc_diag];
+  if (c > dp_h) dp_h = c;
+}
+if (is_valid_del) { double c = )", gap, R"( + V[loc_del]; if (c > dp_h) dp_h = c; }
+if (is_valid_ins) { double c = )", gap, R"( + V[loc_ins]; if (c > dp_h) dp_h = c; }
+V[loc] = dp_h;
+)"));
+  p.spec.validate();
+
+  std::string sa = a, sb = b;
+  p.kernel = [sa, sb, match, mismatch, gap](const engine::Cell& c) {
+    double h = 0.0;
+    if (c.valid[0]) {
+      double v = (sa[static_cast<std::size_t>(c.x[0])] ==
+                          sb[static_cast<std::size_t>(c.x[1])]
+                      ? match
+                      : mismatch) +
+                 c.V[c.loc_dep[0]];
+      h = std::max(h, v);
+    }
+    if (c.valid[1]) h = std::max(h, gap + c.V[c.loc_dep[1]]);
+    if (c.valid[2]) h = std::max(h, gap + c.V[c.loc_dep[2]]);
+    c.V[c.loc] = h;
+  };
+
+  // The objective is max over all cells (use EngineOptions::track_max);
+  // the origin probe is kept for API uniformity.
+  p.objective = {0, 0};
+
+  p.reference = [sa, sb, match, mismatch, gap](const IntVec& params) {
+    const Int l1 = params.at(0), l2 = params.at(1);
+    std::vector<double> H(static_cast<std::size_t>((l1 + 1) * (l2 + 1)),
+                          0.0);
+    auto idx = [&](Int i, Int j) {
+      return static_cast<std::size_t>(i * (l2 + 1) + j);
+    };
+    double best = 0.0;
+    for (Int i = l1; i >= 0; --i) {
+      for (Int j = l2; j >= 0; --j) {
+        double h = 0.0;
+        if (i < l1 && j < l2)
+          h = std::max(h, (sa[static_cast<std::size_t>(i)] ==
+                                   sb[static_cast<std::size_t>(j)]
+                               ? match
+                               : mismatch) +
+                              H[idx(i + 1, j + 1)]);
+        if (i < l1) h = std::max(h, gap + H[idx(i + 1, j)]);
+        if (j < l2) h = std::max(h, gap + H[idx(i, j + 1)]);
+        H[idx(i, j)] = h;
+        best = std::max(best, h);
+      }
+    }
+    return best;
+  };
+  return p;
+}
+
+}  // namespace dpgen::problems

@@ -1,0 +1,292 @@
+// Bernoulli bandit problems (paper sections I, II, VI).
+
+#include <algorithm>
+#include <vector>
+
+#include "problems/problems.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::problems {
+
+namespace {
+
+/// Posterior success probability of an arm with s successes, f failures
+/// under a uniform prior.
+double posterior(Int s, Int f) {
+  return static_cast<double>(s + 1) / static_cast<double>(s + f + 2);
+}
+
+}  // namespace
+
+Problem bandit2(Int tile_width) {
+  Problem p;
+  p.spec.name("bandit2")
+      .params({"N"})
+      .vars({"s1", "f1", "s2", "f2"})
+      .array("V")
+      .constraint("s1 >= 0")
+      .constraint("f1 >= 0")
+      .constraint("s2 >= 0")
+      .constraint("f2 >= 0")
+      .constraint("s1 + f1 + s2 + f2 <= N")
+      .dep("r1", {1, 0, 0, 0})
+      .dep("r2", {0, 1, 0, 0})
+      .dep("r3", {0, 0, 1, 0})
+      .dep("r4", {0, 0, 0, 1})
+      .load_balance({"s1", "f1"})
+      .tile_widths(IntVec(4, tile_width))
+      .center_code(R"(
+if (is_valid_r1 && is_valid_r2 && is_valid_r3 && is_valid_r4) {
+  double p1 = (double)(s1 + 1) / (double)(s1 + f1 + 2);
+  double p2 = (double)(s2 + 1) / (double)(s2 + f2 + 2);
+  double v1 = p1 * (1.0 + V[loc_r1]) + (1.0 - p1) * V[loc_r2];
+  double v2 = p2 * (1.0 + V[loc_r3]) + (1.0 - p2) * V[loc_r4];
+  V[loc] = v1 > v2 ? v1 : v2;
+} else {
+  V[loc] = 0.0;
+}
+)");
+  p.spec.validate();
+
+  p.kernel = [](const engine::Cell& c) {
+    if (c.valid[0] && c.valid[1] && c.valid[2] && c.valid[3]) {
+      double p1 = posterior(c.x[0], c.x[1]);
+      double p2 = posterior(c.x[2], c.x[3]);
+      double v1 =
+          p1 * (1.0 + c.V[c.loc_dep[0]]) + (1.0 - p1) * c.V[c.loc_dep[1]];
+      double v2 =
+          p2 * (1.0 + c.V[c.loc_dep[2]]) + (1.0 - p2) * c.V[c.loc_dep[3]];
+      c.V[c.loc] = std::max(v1, v2);
+    } else {
+      c.V[c.loc] = 0.0;
+    }
+  };
+
+  p.objective = {0, 0, 0, 0};
+
+  p.reference = [](const IntVec& params) {
+    const Int N = params.at(0);
+    const Int n1 = N + 1;
+    std::vector<double> V(
+        static_cast<std::size_t>(n1 * n1 * n1 * n1), 0.0);
+    auto at = [&](Int s1, Int f1, Int s2, Int f2) -> double& {
+      return V[static_cast<std::size_t>(((s1 * n1 + f1) * n1 + s2) * n1 +
+                                        f2)];
+    };
+    for (Int m = N - 1; m >= 0; --m) {
+      for (Int s1 = 0; s1 <= m; ++s1)
+        for (Int f1 = 0; f1 <= m - s1; ++f1)
+          for (Int s2 = 0; s2 <= m - s1 - f1; ++s2) {
+            Int f2 = m - s1 - f1 - s2;
+            double p1 = posterior(s1, f1);
+            double p2 = posterior(s2, f2);
+            double v1 = p1 * (1.0 + at(s1 + 1, f1, s2, f2)) +
+                        (1.0 - p1) * at(s1, f1 + 1, s2, f2);
+            double v2 = p2 * (1.0 + at(s1, f1, s2 + 1, f2)) +
+                        (1.0 - p2) * at(s1, f1, s2, f2 + 1);
+            at(s1, f1, s2, f2) = std::max(v1, v2);
+          }
+    }
+    return at(0, 0, 0, 0);
+  };
+  return p;
+}
+
+Problem bandit3(Int tile_width) {
+  Problem p;
+  p.spec.name("bandit3")
+      .params({"N"})
+      .vars({"s1", "f1", "s2", "f2", "s3", "f3"})
+      .array("V")
+      .constraint("s1 >= 0")
+      .constraint("f1 >= 0")
+      .constraint("s2 >= 0")
+      .constraint("f2 >= 0")
+      .constraint("s3 >= 0")
+      .constraint("f3 >= 0")
+      .constraint("s1 + f1 + s2 + f2 + s3 + f3 <= N")
+      .dep("r1", {1, 0, 0, 0, 0, 0})
+      .dep("r2", {0, 1, 0, 0, 0, 0})
+      .dep("r3", {0, 0, 1, 0, 0, 0})
+      .dep("r4", {0, 0, 0, 1, 0, 0})
+      .dep("r5", {0, 0, 0, 0, 1, 0})
+      .dep("r6", {0, 0, 0, 0, 0, 1})
+      .load_balance({"s1", "f1"})
+      .tile_widths(IntVec(6, tile_width))
+      .center_code(R"(
+if (is_valid_r1 && is_valid_r2) {
+  double p1 = (double)(s1 + 1) / (double)(s1 + f1 + 2);
+  double p2 = (double)(s2 + 1) / (double)(s2 + f2 + 2);
+  double p3 = (double)(s3 + 1) / (double)(s3 + f3 + 2);
+  double v1 = p1 * (1.0 + V[loc_r1]) + (1.0 - p1) * V[loc_r2];
+  double v2 = p2 * (1.0 + V[loc_r3]) + (1.0 - p2) * V[loc_r4];
+  double v3 = p3 * (1.0 + V[loc_r5]) + (1.0 - p3) * V[loc_r6];
+  double v = v1 > v2 ? v1 : v2;
+  V[loc] = v > v3 ? v : v3;
+} else {
+  V[loc] = 0.0;
+}
+)");
+  p.spec.validate();
+
+  p.kernel = [](const engine::Cell& c) {
+    // All six flags are equal (only the sum constraint can be violated).
+    if (!c.valid[0]) {
+      c.V[c.loc] = 0.0;
+      return;
+    }
+    double best = 0.0;
+    for (int arm = 0; arm < 3; ++arm) {
+      double pa = posterior(c.x[2 * arm], c.x[2 * arm + 1]);
+      double v = pa * (1.0 + c.V[c.loc_dep[2 * arm]]) +
+                 (1.0 - pa) * c.V[c.loc_dep[2 * arm + 1]];
+      best = std::max(best, v);
+    }
+    c.V[c.loc] = best;
+  };
+
+  p.objective = IntVec(6, 0);
+
+  p.reference = [](const IntVec& params) {
+    const Int N = params.at(0);
+    const Int n1 = N + 1;
+    std::size_t total = 1;
+    for (int i = 0; i < 6; ++i) total *= static_cast<std::size_t>(n1);
+    std::vector<double> V(total, 0.0);
+    auto idx = [&](const Int* s) {
+      std::size_t v = 0;
+      for (int i = 0; i < 6; ++i)
+        v = v * static_cast<std::size_t>(n1) + static_cast<std::size_t>(s[i]);
+      return v;
+    };
+    // Iterate by decreasing total pulls m.
+    for (Int m = N - 1; m >= 0; --m) {
+      Int s[6];
+      for (s[0] = 0; s[0] <= m; ++s[0])
+        for (s[1] = 0; s[1] <= m - s[0]; ++s[1])
+          for (s[2] = 0; s[2] <= m - s[0] - s[1]; ++s[2])
+            for (s[3] = 0; s[3] <= m - s[0] - s[1] - s[2]; ++s[3])
+              for (s[4] = 0; s[4] <= m - s[0] - s[1] - s[2] - s[3]; ++s[4]) {
+                s[5] = m - s[0] - s[1] - s[2] - s[3] - s[4];
+                double best = 0.0;
+                for (int arm = 0; arm < 3; ++arm) {
+                  double pa = posterior(s[2 * arm], s[2 * arm + 1]);
+                  Int hi[6], lo[6];
+                  std::copy(s, s + 6, hi);
+                  std::copy(s, s + 6, lo);
+                  ++hi[2 * arm];
+                  ++lo[2 * arm + 1];
+                  double v = pa * (1.0 + V[idx(hi)]) + (1.0 - pa) * V[idx(lo)];
+                  best = std::max(best, v);
+                }
+                V[idx(s)] = best;
+              }
+    }
+    Int zero[6] = {0, 0, 0, 0, 0, 0};
+    return V[idx(zero)];
+  };
+  return p;
+}
+
+Problem bandit2_delay(Int tile_width) {
+  Problem p;
+  p.spec.name("bandit2_delay")
+      .params({"N"})
+      .vars({"u1", "s1", "f1", "u2", "s2", "f2"})
+      .array("V")
+      .constraint("u1 >= 0")
+      .constraint("s1 >= 0")
+      .constraint("f1 >= 0")
+      .constraint("u2 >= 0")
+      .constraint("s2 >= 0")
+      .constraint("f2 >= 0")
+      .constraint("s1 + f1 <= u1")
+      .constraint("s2 + f2 <= u2")
+      .constraint("u1 + u2 <= N")
+      .dep("ru1", {1, 0, 0, 0, 0, 0})
+      .dep("rs1", {0, 1, 0, 0, 0, 0})
+      .dep("rf1", {0, 0, 1, 0, 0, 0})
+      .dep("ru2", {0, 0, 0, 1, 0, 0})
+      .dep("rs2", {0, 0, 0, 0, 1, 0})
+      .dep("rf2", {0, 0, 0, 0, 0, 1})
+      .load_balance({"u1", "u2"})
+      .tile_widths(IntVec(6, tile_width))
+      .center_code(R"(
+if (is_valid_rs1) {
+  double p1 = (double)(s1 + 1) / (double)(s1 + f1 + 2);
+  V[loc] = p1 * (1.0 + V[loc_rs1]) + (1.0 - p1) * V[loc_rf1];
+} else if (is_valid_rs2) {
+  double p2 = (double)(s2 + 1) / (double)(s2 + f2 + 2);
+  V[loc] = p2 * (1.0 + V[loc_rs2]) + (1.0 - p2) * V[loc_rf2];
+} else if (is_valid_ru1) {
+  double a = V[loc_ru1], b = V[loc_ru2];
+  V[loc] = a > b ? a : b;
+} else {
+  V[loc] = 0.0;
+}
+)");
+  p.spec.validate();
+
+  // Dep order: ru1, rs1, rf1, ru2, rs2, rf2 (indices 0..5).
+  p.kernel = [](const engine::Cell& c) {
+    if (c.valid[1]) {  // an arm-1 result is outstanding: observe it first
+      double p1 = posterior(c.x[1], c.x[2]);
+      c.V[c.loc] = p1 * (1.0 + c.V[c.loc_dep[1]]) +
+                   (1.0 - p1) * c.V[c.loc_dep[2]];
+    } else if (c.valid[4]) {  // arm-2 result outstanding
+      double p2 = posterior(c.x[4], c.x[5]);
+      c.V[c.loc] = p2 * (1.0 + c.V[c.loc_dep[4]]) +
+                   (1.0 - p2) * c.V[c.loc_dep[5]];
+    } else if (c.valid[0]) {  // no outstanding results: choose a pull
+      c.V[c.loc] = std::max(c.V[c.loc_dep[0]], c.V[c.loc_dep[3]]);
+    } else {
+      c.V[c.loc] = 0.0;
+    }
+  };
+
+  p.objective = IntVec(6, 0);
+
+  p.reference = [](const IntVec& params) {
+    const Int N = params.at(0);
+    const Int n1 = N + 1;
+    std::size_t total = 1;
+    for (int i = 0; i < 6; ++i) total *= static_cast<std::size_t>(n1);
+    std::vector<double> V(total, 0.0);
+    auto idx = [&](Int u1, Int s1, Int f1, Int u2, Int s2, Int f2) {
+      std::size_t v = 0;
+      for (Int c : {u1, s1, f1, u2, s2, f2})
+        v = v * static_cast<std::size_t>(n1) + static_cast<std::size_t>(c);
+      return v;
+    };
+    // Scan all dimensions descending: every dependency increases a
+    // coordinate, so descending order is a valid schedule.
+    for (Int u1 = N; u1 >= 0; --u1)
+      for (Int s1 = u1; s1 >= 0; --s1)
+        for (Int f1 = u1 - s1; f1 >= 0; --f1)
+          for (Int u2 = N - u1; u2 >= 0; --u2)
+            for (Int s2 = u2; s2 >= 0; --s2)
+              for (Int f2 = u2 - s2; f2 >= 0; --f2) {
+                double v;
+                if (s1 + f1 < u1) {
+                  double p1 = posterior(s1, f1);
+                  v = p1 * (1.0 + V[idx(u1, s1 + 1, f1, u2, s2, f2)]) +
+                      (1.0 - p1) * V[idx(u1, s1, f1 + 1, u2, s2, f2)];
+                } else if (s2 + f2 < u2) {
+                  double p2 = posterior(s2, f2);
+                  v = p2 * (1.0 + V[idx(u1, s1, f1, u2, s2 + 1, f2)]) +
+                      (1.0 - p2) * V[idx(u1, s1, f1, u2, s2, f2 + 1)];
+                } else if (u1 + u2 < N) {
+                  v = std::max(V[idx(u1 + 1, s1, f1, u2, s2, f2)],
+                               V[idx(u1, s1, f1, u2 + 1, s2, f2)]);
+                } else {
+                  v = 0.0;
+                }
+                V[idx(u1, s1, f1, u2, s2, f2)] = v;
+              }
+    return V[idx(0, 0, 0, 0, 0, 0)];
+  };
+  return p;
+}
+
+}  // namespace dpgen::problems

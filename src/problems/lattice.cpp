@@ -1,0 +1,197 @@
+// Trellis / seam-carving shortest path: a Viterbi-shaped recurrence with
+// laterally mixed-sign template vectors (1,-1), (1,0), (1,+1).
+//
+// f(t, s) is the minimal accumulated energy of a connected vertical seam
+// from row t, column s to the bottom of a T x S energy field:
+//   f(t, s) = e(t, s) + min(f(t+1, s-1), f(t+1, s), f(t+1, s+1)).
+//
+// Rectangular tiling of mixed-sign lateral dependencies is only legal when
+// the tile offsets stay lexicographically positive, which strip tiles
+// (width 1 in the pipelined t dimension) guarantee — the spec validator
+// enforces exactly that, so this problem doubles as the regression test
+// for the generalised legality rule.
+
+#include <algorithm>
+#include <vector>
+
+#include "problems/problems.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::problems {
+
+namespace {
+
+/// Deterministic pseudo-random energy in [0, 255].
+double energy(Int t, Int s, unsigned seed) {
+  std::uint64_t h = static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ull ^
+                    static_cast<std::uint64_t>(s) * 0xc2b2ae3d27d4eb4full ^
+                    (static_cast<std::uint64_t>(seed) << 32);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return static_cast<double>(h & 0xffu);
+}
+
+}  // namespace
+
+Problem seam_carving(Int lateral_tile_width, unsigned seed) {
+  Problem p;
+  p.spec.name("seam")
+      .params({"T", "S"})
+      .vars({"t", "s"})
+      .array("V")
+      .constraint("t >= 0")
+      .constraint("t <= T")
+      .constraint("s >= 0")
+      .constraint("s <= S")
+      .dep("down_left", {1, -1})
+      .dep("down", {1, 0})
+      .dep("down_right", {1, 1})
+      .load_balance({"t"})
+      // Strip tiles: width 1 in t keeps the tile graph acyclic with the
+      // mixed lateral signs.
+      .tile_widths({1, lateral_tile_width})
+      .global_code(cat("static const unsigned dp_seam_seed = ", seed, ";\n",
+                       R"(static double dp_energy(long long t, long long s) {
+  unsigned long long h = (unsigned long long)t * 0x9e3779b97f4a7c15ull ^
+                         (unsigned long long)s * 0xc2b2ae3d27d4eb4full ^
+                         ((unsigned long long)dp_seam_seed << 32);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return (double)(h & 0xffu);
+}
+)"))
+      .center_code(R"(
+double dp_best = 0.0; int dp_any = 0;
+if (is_valid_down_left) { dp_best = V[loc_down_left]; dp_any = 1; }
+if (is_valid_down && (!dp_any || V[loc_down] < dp_best)) {
+  dp_best = V[loc_down]; dp_any = 1;
+}
+if (is_valid_down_right && (!dp_any || V[loc_down_right] < dp_best)) {
+  dp_best = V[loc_down_right]; dp_any = 1;
+}
+V[loc] = dp_energy(t, s) + (dp_any ? dp_best : 0.0);
+)");
+  p.spec.validate();
+
+  p.kernel = [seed](const engine::Cell& c) {
+    double best = 0.0;
+    bool any = false;
+    for (int j = 0; j < 3; ++j) {
+      if (!c.valid[j]) continue;
+      double v = c.V[c.loc_dep[j]];
+      if (!any || v < best) {
+        best = v;
+        any = true;
+      }
+    }
+    c.V[c.loc] = energy(c.x[0], c.x[1], seed) + (any ? best : 0.0);
+  };
+
+  p.objective = {0, 0};
+
+  p.reference = [seed](const IntVec& params) {
+    const Int T = params.at(0), S = params.at(1);
+    std::vector<std::vector<double>> f(
+        static_cast<std::size_t>(T + 1),
+        std::vector<double>(static_cast<std::size_t>(S + 1), 0.0));
+    for (Int t = T; t >= 0; --t) {
+      for (Int s = 0; s <= S; ++s) {
+        double best = 0.0;
+        bool any = false;
+        if (t < T) {
+          for (Int ds : {-1, 0, 1}) {
+            Int ns = s + ds;
+            if (ns < 0 || ns > S) continue;
+            double v = f[static_cast<std::size_t>(t + 1)]
+                        [static_cast<std::size_t>(ns)];
+            if (!any || v < best) {
+              best = v;
+              any = true;
+            }
+          }
+        }
+        f[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] =
+            energy(t, s, seed) + (any ? best : 0.0);
+      }
+    }
+    return f[0][0];
+  };
+  return p;
+}
+
+Problem coin_change(IntVec denominations, Int tile_width) {
+  DPGEN_CHECK(!denominations.empty(), "coin_change needs denominations");
+  for (Int d : denominations)
+    DPGEN_CHECK(d >= 1, "denominations must be positive");
+
+  Problem p;
+  // Suffix form: f(c) counts coins needed for the REMAINING amount C - c,
+  // i.e. g(a) for amount a = C - c; using deps f(c + d_j) keeps template
+  // vectors positive.  f(C) = 0, objective at c = 0.
+  p.spec.name("coin_change")
+      .params({"C"})
+      .vars({"c"})
+      .array("V")
+      .constraint("c >= 0")
+      .constraint("c <= C")
+      .load_balance({"c"})
+      .tile_widths({tile_width});
+  std::string center = "double dp_best = 0.0; int dp_any = 0;\n";
+  for (std::size_t j = 0; j < denominations.size(); ++j) {
+    p.spec.dep(cat("d", denominations[j]), {denominations[j]});
+    center += cat("if (is_valid_d", denominations[j], " && (!dp_any || V[loc_d",
+                  denominations[j], "] < dp_best)) { dp_best = V[loc_d",
+                  denominations[j], "]; dp_any = 1; }\n");
+  }
+  center +=
+      "V[loc] = c == C ? 0.0 : (dp_any && dp_best < 1e17 ? 1.0 + dp_best "
+      ": 1e18);\n";
+  p.spec.center_code(center);
+  p.spec.validate();
+
+  IntVec denoms = denominations;
+  p.kernel = [denoms](const engine::Cell& c) {
+    // f(C) = 0; is_valid flags say whether c + d_j <= C.
+    bool at_end = true;
+    double best = 0.0;
+    bool any = false;
+    for (std::size_t j = 0; j < denoms.size(); ++j) {
+      if (!c.valid[j]) continue;
+      at_end = false;
+      double v = c.V[c.loc_dep[j]];
+      if (!any || v < best) {
+        best = v;
+        any = true;
+      }
+    }
+    if (c.x[0] == c.params[0]) {
+      c.V[c.loc] = 0.0;
+    } else {
+      c.V[c.loc] = (any && best < 1e17) ? 1.0 + best : 1e18;
+    }
+    (void)at_end;
+  };
+
+  p.objective = {0};
+
+  p.reference = [denoms](const IntVec& params) {
+    const Int C = params.at(0);
+    std::vector<double> g(static_cast<std::size_t>(C + 1), 1e18);
+    g[0] = 0.0;  // amount 0 needs no coins
+    for (Int a = 1; a <= C; ++a) {
+      for (Int d : denoms) {
+        if (d <= a && g[static_cast<std::size_t>(a - d)] + 1.0 <
+                          g[static_cast<std::size_t>(a)])
+          g[static_cast<std::size_t>(a)] =
+              g[static_cast<std::size_t>(a - d)] + 1.0;
+      }
+    }
+    return g[static_cast<std::size_t>(C)];
+  };
+  return p;
+}
+
+}  // namespace dpgen::problems

@@ -1,0 +1,100 @@
+#pragma once
+// The paper's motivating problems (sections I, II, VI), each packaged as:
+//   * a ProblemSpec (what a user would feed the generator),
+//   * an engine kernel (the center-loop body as a C++ callable),
+//   * an independent serial reference solver used as a correctness oracle,
+//   * the objective location (usually the origin, f(0)).
+//
+// Problems included:
+//   * bandit2        — 2-arm Bernoulli bandit (4-dimensional, Fig. 1),
+//   * bandit3        — 3-arm Bernoulli bandit (6-dimensional),
+//   * bandit2_delay  — 2-arm bandit with delayed responses (6-dimensional
+//                      wedge: result dimensions bounded by pull dimensions),
+//   * msa            — exact multiple sequence alignment of 2..4 sequences
+//                      (suffix formulation, sum-of-pairs score),
+//   * lcs            — longest common subsequence of 2..3 strings,
+//   * edit_distance  — classic 2-string edit distance (quickstart-sized).
+//
+// Bandit values follow the Bayesian (uniform prior) formulation: the
+// probability the next pull of arm i succeeds is (s_i+1)/(s_i+f_i+2) and a
+// success contributes 1 to the objective, so V(0) is the maximal expected
+// number of successes in N trials.  (The paper's Fig. 1 omits the +1 reward
+// term for brevity; any fixed convention works for reproduction as the
+// engine and the oracle share it.)
+
+#include <string>
+
+#include "engine/engine.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dpgen::problems {
+
+/// A ready-to-run problem: spec + kernel + oracle.
+struct Problem {
+  spec::ProblemSpec spec;
+  engine::CenterFn kernel;
+  /// Where the objective value lives (global coordinates).
+  IntVec objective;
+  /// Independent serial solver returning the objective value for the given
+  /// parameter values.  Used as the correctness oracle in tests.
+  std::function<double(const IntVec& params)> reference;
+};
+
+/// 2-arm Bernoulli bandit; parameter N = number of trials.
+Problem bandit2(Int tile_width = 8);
+
+/// 3-arm Bernoulli bandit; parameter N.  Keep N modest: the oracle
+/// allocates (N+1)^6 doubles.
+Problem bandit3(Int tile_width = 4);
+
+/// 2-arm bandit with delayed responses (6-dimensional): pulls u_i and
+/// observed results s_i, f_i with s_i + f_i <= u_i and u_1 + u_2 <= N.
+Problem bandit2_delay(Int tile_width = 4);
+
+/// Exact MSA of 2..4 sequences, sum-of-pairs score with unit mismatch and
+/// gap costs `mismatch` and `gap`.  Parameters are the sequence lengths.
+Problem msa(const std::vector<std::string>& seqs, Int tile_width = 8,
+            double mismatch = 1.0, double gap = 2.0);
+
+/// LCS of 2..3 strings (maximised match count).
+Problem lcs(const std::vector<std::string>& seqs, Int tile_width = 16);
+
+/// Edit distance between two strings (insert/delete/substitute, unit cost).
+Problem edit_distance(const std::string& a, const std::string& b,
+                      Int tile_width = 16);
+
+/// Smith-Waterman local alignment (maximised similarity, clamped at 0):
+/// H(i,j) = max(0, s(a_i,b_j) + H(i+1,j+1), gap + H(i+1,j), gap + H(i,j+1)).
+/// The answer is the maximum over ALL locations — run the engine with
+/// EngineOptions::track_max (the packaged reference returns that max).
+Problem smith_waterman(const std::string& a, const std::string& b,
+                       double match = 2.0, double mismatch = -1.0,
+                       double gap = -1.0, Int tile_width = 8);
+
+/// Pairwise alignment with affine gap costs (Gotoh; paper section I's
+/// "Gap Creation Penalty" vs "Gap Extension Penalty"), expressed as a
+/// 3-dimensional problem whose third (3-wide) dimension is the classic
+/// M/Ix/Iy matrix index.  Parameters are the sequence lengths.
+Problem align_affine(const std::string& a, const std::string& b,
+                     double mismatch = 1.0, double gap_open = 3.0,
+                     double gap_extend = 1.0, Int tile_width = 8);
+
+/// Unbounded change-making: minimal number of coins summing to the
+/// parameter C, f(c) = 1 + min_j f(c - d_j) with f(0) = 0 — a 1-D problem
+/// whose template vectors are the denominations themselves, so
+/// dependencies span several tiles (long-range edges).  Unreachable
+/// amounts get the sentinel 1e18.
+Problem coin_change(IntVec denominations, Int tile_width = 8);
+
+/// Trellis shortest path (seam carving / Viterbi shape): laterally
+/// mixed-sign template vectors (1,-1),(1,0),(1,1) over a T x S field,
+/// legal under strip tiling (t tile width 1).  Parameters are T and S.
+Problem seam_carving(Int lateral_tile_width = 16, unsigned seed = 7);
+
+/// Deterministic pseudo-random DNA string (alphabet ACGT).
+std::string random_dna(std::size_t length, unsigned seed);
+
+/// Parameter values (sequence lengths) for a sequence problem.
+IntVec sequence_params(const std::vector<std::string>& seqs);
+
+}  // namespace dpgen::problems

@@ -1,0 +1,314 @@
+#pragma once
+// The hybrid node driver (paper section V.A).
+//
+// run_node() is the main body of every generated program and of engine
+// runs: after load balancing and initial-tile generation, each of the
+// node's worker threads executes the paper's while-loop —
+//   1. get the next available tile,
+//   2. unpack its stored edge data into a fresh tile buffer (+ghost cells),
+//   3. execute the tile,
+//   4. pack each valid outgoing edge and either update a neighbouring
+//      local tile or send the edge to the owning rank,
+//   5. add any now-ready tiles to the priority queue,
+//   6. poll for incoming edges when the comm lock is available.
+//
+// Only tiles in execution hold full buffers; everything else is packed
+// edges.  The problem-specific pieces are supplied through ProblemHooks:
+// the interpreted engine implements them by walking the TilingModel, and
+// generated programs implement them with emitted loop nests.
+//
+// Worker threads are std::threads by default; when compiled with OpenMP
+// and DPGEN_RUNTIME_USE_OPENMP (as generated programs are), the workers
+// run inside an OpenMP parallel region instead, making the program a true
+// hybrid OpenMP + message-passing executable.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "minimpi/world.hpp"
+#include "runtime/tile_table.hpp"
+
+#if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace dpgen::runtime {
+
+/// The problem-specific interface the driver runs against.  All methods
+/// must be safe to call from multiple worker threads concurrently.
+template <typename S>
+class ProblemHooks {
+ public:
+  virtual ~ProblemHooks() = default;
+
+  /// Number of tile dimensions.
+  virtual int dim() const = 0;
+  /// Scalars in one tile buffer (interior + ghost ring).
+  virtual Int buffer_size() const = 0;
+
+  /// Tile edges (distinct tile-dependency offsets).
+  virtual int num_edges() const = 0;
+  virtual const IntVec& edge_offset(int edge) const = 0;
+
+  /// True when the tile exists (is inside the tile space).
+  virtual bool tile_exists(const IntVec& tile) const = 0;
+  /// Number of in-space dependencies of an existing tile.
+  virtual int dep_count(const IntVec& tile) const = 0;
+  /// Appends every dependency-free tile (across all ranks) to out.
+  virtual void initial_tiles(std::vector<IntVec>& out) const = 0;
+
+  /// Owning rank of a tile and the number of tiles a rank owns.
+  virtual int owner(const IntVec& tile) const = 0;
+  virtual Int owned_tiles(int rank) const = 0;
+
+  /// Runs the tile's loop nest over `buffer` (ghosts already unpacked).
+  virtual void execute_tile(const IntVec& tile, S* buffer) = 0;
+  /// Called after execution with the filled buffer (result capture).
+  virtual void on_tile_executed(const IntVec& tile, const S* buffer) {
+    (void)tile;
+    (void)buffer;
+  }
+
+  /// Packs the producer-side cells of `edge` from `buffer` into out
+  /// (cleared first); returns the number of scalars packed.
+  virtual Int pack(int edge, const IntVec& producer, const S* buffer,
+                   std::vector<S>& out) const = 0;
+  /// Unpacks edge data into the consumer tile's buffer ghost cells;
+  /// `producer` identifies the tile the data came from.
+  virtual void unpack(int edge, const IntVec& producer, const S* data,
+                      Int count, S* buffer) const = 0;
+};
+
+struct RunOptions {
+  int threads = 1;
+  TileOrder order;
+  /// Ready-queue shards (paper VII.C); workers prefer shard
+  /// (worker_id mod shards) and steal from the rest.
+  int queue_shards = 1;
+  /// Fill fresh tile buffers with NaN instead of zero so that reads of
+  /// never-written ghost cells surface as NaNs (floating-point S only).
+  bool poison_buffers = false;
+  /// Abort with an error after this long with no progress (0 = never);
+  /// protects tests against scheduling deadlocks.
+  double stall_timeout_seconds = 120.0;
+};
+
+struct RunStats {
+  long long tiles_executed = 0;
+  long long initial_tiles = 0;
+  long long local_edges = 0;     // delivered without messaging
+  long long remote_edges = 0;    // sent through the comm layer
+  long long polls = 0;
+  long long idle_spins = 0;
+  double init_scan_seconds = 0.0;
+  double total_seconds = 0.0;
+  TableStats table;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t blocked_sends = 0;
+};
+
+namespace detail {
+
+/// Wire format of one edge message: [edge, count, consumer tile coords,
+/// payload scalars].
+template <typename S>
+std::vector<std::uint8_t> encode_edge(int edge, const IntVec& consumer,
+                                      const std::vector<S>& payload) {
+  const std::size_t head = sizeof(Int) * (2 + consumer.size());
+  std::vector<std::uint8_t> buf(head + payload.size() * sizeof(S));
+  Int header[2] = {static_cast<Int>(edge),
+                   static_cast<Int>(payload.size())};
+  std::memcpy(buf.data(), header, sizeof(header));
+  std::memcpy(buf.data() + sizeof(header), consumer.data(),
+              consumer.size() * sizeof(Int));
+  if (!payload.empty())
+    std::memcpy(buf.data() + head, payload.data(),
+                payload.size() * sizeof(S));
+  return buf;
+}
+
+template <typename S>
+void decode_edge(const std::vector<std::uint8_t>& buf, int dim, int* edge,
+                 IntVec* consumer, std::vector<S>* payload) {
+  Int header[2];
+  DPGEN_CHECK(buf.size() >= sizeof(header), "malformed edge message");
+  std::memcpy(header, buf.data(), sizeof(header));
+  *edge = static_cast<int>(header[0]);
+  auto count = static_cast<std::size_t>(header[1]);
+  consumer->resize(static_cast<std::size_t>(dim));
+  const std::size_t head = sizeof(Int) * (2 + consumer->size());
+  DPGEN_CHECK(buf.size() == head + count * sizeof(S),
+              "edge message length mismatch");
+  std::memcpy(consumer->data(), buf.data() + sizeof(header),
+              consumer->size() * sizeof(Int));
+  payload->resize(count);
+  if (count)
+    std::memcpy(payload->data(), buf.data() + head, count * sizeof(S));
+}
+
+}  // namespace detail
+
+/// Executes one rank's share of the problem.  Returns per-rank statistics.
+template <typename S>
+RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
+                  const RunOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  const auto t_start = Clock::now();
+  const int rank = comm.rank();
+  const int dim = hooks.dim();
+
+  RunStats stats;
+  ShardedTileTable<S> table(opt.order, opt.queue_shards);
+
+  // ---- initial tiles (paper IV.K): serial, then filtered by ownership ----
+  {
+    const auto t0 = Clock::now();
+    std::vector<IntVec> initial;
+    hooks.initial_tiles(initial);
+    for (auto& t : initial) {
+      if (hooks.owner(t) == rank) {
+        table.seed_ready(std::move(t));
+        ++stats.initial_tiles;
+      }
+    }
+    stats.init_scan_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  const Int owned = hooks.owned_tiles(rank);
+  std::atomic<long long> done{0};
+  std::atomic<long long> progress_marker{0};
+  std::mutex poll_mu;  // the paper's "poll ... if lock available"
+  std::mutex stats_mu;
+
+  auto expected_deps = [&](const IntVec& t) { return hooks.dep_count(t); };
+
+  auto poll = [&](RunStats& local) -> bool {
+    std::unique_lock<std::mutex> lock(poll_mu, std::try_to_lock);
+    if (!lock.owns_lock()) return false;
+    bool got = false;
+    while (auto msg = comm.try_recv()) {
+      int edge = -1;
+      IntVec consumer;
+      std::vector<S> payload;
+      detail::decode_edge<S>(msg->payload, dim, &edge, &consumer, &payload);
+      table.deliver(consumer, expected_deps,
+                    EdgeData<S>{edge, std::move(payload)});
+      got = true;
+    }
+    ++local.polls;
+    return got;
+  };
+
+  auto worker = [&](int worker_id) {
+    const int preferred_shard = worker_id % table.shards();
+    RunStats local;
+    std::vector<S> buffer(static_cast<std::size_t>(hooks.buffer_size()));
+    std::vector<S> scratch;
+    long long seen_marker = progress_marker.load();
+    auto seen_time = Clock::now();
+
+    while (done.load(std::memory_order_acquire) < owned) {
+      auto ready = table.pop(preferred_shard);
+      if (!ready) {
+        if (poll(local)) progress_marker.fetch_add(1);
+        ++local.idle_spins;
+        std::this_thread::yield();
+        if (opt.stall_timeout_seconds > 0) {
+          long long marker = progress_marker.load();
+          if (marker != seen_marker) {
+            seen_marker = marker;
+            seen_time = Clock::now();
+          } else if (std::chrono::duration<double>(Clock::now() - seen_time)
+                         .count() > opt.stall_timeout_seconds) {
+            raise("runtime stalled: no tile became ready within the stall "
+                  "timeout (likely a scheduling bug or a dead peer rank)");
+          }
+        }
+        continue;
+      }
+      progress_marker.fetch_add(1, std::memory_order_relaxed);
+
+      // 2. fresh buffer + unpack stored edges
+      if constexpr (std::is_floating_point_v<S>) {
+        std::fill(buffer.begin(), buffer.end(),
+                  opt.poison_buffers ? std::numeric_limits<S>::quiet_NaN()
+                                     : S{});
+      } else {
+        std::fill(buffer.begin(), buffer.end(), S{});
+      }
+      for (const auto& e : ready->edges) {
+        IntVec producer = vec_add(ready->tile, hooks.edge_offset(e.edge));
+        hooks.unpack(e.edge, producer, e.payload.data(),
+                     static_cast<Int>(e.payload.size()), buffer.data());
+      }
+
+      // 3. execute
+      hooks.execute_tile(ready->tile, buffer.data());
+      hooks.on_tile_executed(ready->tile, buffer.data());
+      ++local.tiles_executed;
+
+      // 4. pack and route each valid outgoing edge
+      for (int e = 0; e < hooks.num_edges(); ++e) {
+        IntVec consumer = vec_sub(ready->tile, hooks.edge_offset(e));
+        if (!hooks.tile_exists(consumer)) continue;
+        hooks.pack(e, ready->tile, buffer.data(), scratch);
+        int dst = hooks.owner(consumer);
+        if (dst == rank) {
+          table.deliver(consumer, expected_deps, EdgeData<S>{e, scratch});
+          ++local.local_edges;
+        } else {
+          auto msg = detail::encode_edge<S>(e, consumer, scratch);
+          while (!comm.try_send(dst, e, msg.data(), msg.size())) {
+            // Destination buffers full: service our own mailbox meanwhile.
+            poll(local);
+            std::this_thread::yield();
+          }
+          ++local.remote_edges;
+        }
+      }
+
+      done.fetch_add(1, std::memory_order_release);
+      // 6. opportunistic poll
+      poll(local);
+    }
+
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.tiles_executed += local.tiles_executed;
+    stats.local_edges += local.local_edges;
+    stats.remote_edges += local.remote_edges;
+    stats.polls += local.polls;
+    stats.idle_spins += local.idle_spins;
+  };
+
+#if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
+#pragma omp parallel num_threads(opt.threads)
+  { worker(omp_get_thread_num()); }
+#else
+  if (opt.threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < opt.threads; ++w) threads.emplace_back(worker, w);
+    for (auto& t : threads) t.join();
+  }
+#endif
+
+  comm.barrier();
+  stats.table = table.stats();
+  stats.messages_sent = comm.messages_sent();
+  stats.bytes_sent = comm.bytes_sent();
+  stats.blocked_sends = comm.blocked_sends();
+  stats.total_seconds =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  return stats;
+}
+
+}  // namespace dpgen::runtime

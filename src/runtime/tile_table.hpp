@@ -1,0 +1,205 @@
+#pragma once
+// Pending-tile table and eligible-tile priority queue (paper section V.B).
+//
+// The two main data structures of a generated program:
+//   * the pending table holds every tile known to this node that still has
+//     unsatisfied dependencies, together with the packed edge data received
+//     for it so far — only edge data, never whole tiles, which is what
+//     keeps live memory O(n^(d-1)) instead of Theta(n^d);
+//   * the ready queue holds tiles whose dependencies are all satisfied,
+//     ordered by the TileOrder priority (Fig. 5).
+//
+// Both are guarded by one mutex; the paper notes contention on these
+// structures has not been a bottleneck, and it is not here either.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "runtime/order.hpp"
+#include "support/error.hpp"
+
+namespace dpgen::runtime {
+
+/// One packed tile edge: which edge (tile-dependency offset index) plus the
+/// packed scalars in canonical pack order.
+template <typename S>
+struct EdgeData {
+  int edge = -1;
+  std::vector<S> payload;
+};
+
+/// A tile ready for execution, with every incoming edge it accumulated.
+template <typename S>
+struct ReadyTile {
+  IntVec tile;
+  std::vector<EdgeData<S>> edges;
+};
+
+/// Memory-usage counters exposed for the FIG4 / PEND reproductions.
+struct TableStats {
+  long long peak_pending_tiles = 0;
+  long long peak_buffered_edges = 0;
+  long long peak_buffered_scalars = 0;
+  long long delivered_edges = 0;
+};
+
+template <typename S>
+class TileTable {
+ public:
+  explicit TileTable(const TileOrder& order)
+      : order_(order), ready_(order_.less()) {}
+
+  // The ready queue's comparator points at order_; pinning the table keeps
+  // that pointer valid.
+  TileTable(const TileTable&) = delete;
+  TileTable& operator=(const TileTable&) = delete;
+
+  /// Seeds a dependency-free (initial) tile straight into the ready queue.
+  void seed_ready(IntVec tile) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.emplace(std::move(tile), std::vector<EdgeData<S>>{});
+  }
+
+  /// Delivers one edge for `tile`.  On first sight of the tile,
+  /// expected_deps is consulted for its total in-space dependency count.
+  /// When the last dependency arrives the tile moves to the ready queue.
+  template <typename ExpectedFn>
+  void deliver(const IntVec& tile, ExpectedFn&& expected_deps,
+               EdgeData<S> edge) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(tile);
+    if (it == pending_.end()) {
+      int expected = expected_deps(tile);
+      DPGEN_ASSERT(expected >= 1);
+      it = pending_.emplace(tile, Pending{expected, {}}).first;
+      stats_.peak_pending_tiles =
+          std::max(stats_.peak_pending_tiles,
+                   static_cast<long long>(pending_.size()));
+    }
+    cur_edges_ += 1;
+    cur_scalars_ += static_cast<long long>(edge.payload.size());
+    stats_.peak_buffered_edges =
+        std::max(stats_.peak_buffered_edges, cur_edges_);
+    stats_.peak_buffered_scalars =
+        std::max(stats_.peak_buffered_scalars, cur_scalars_);
+    ++stats_.delivered_edges;
+
+    it->second.edges.push_back(std::move(edge));
+    if (--it->second.waiting == 0) {
+      ready_.emplace(tile, std::move(it->second.edges));
+      pending_.erase(it);
+    }
+  }
+
+  /// Pops the highest-priority ready tile, or nullopt when none is ready.
+  std::optional<ReadyTile<S>> pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.empty()) return std::nullopt;
+    auto it = ready_.begin();
+    ReadyTile<S> out{it->first, std::move(it->second)};
+    ready_.erase(it);
+    for (const auto& e : out.edges) {
+      cur_edges_ -= 1;
+      cur_scalars_ -= static_cast<long long>(e.payload.size());
+    }
+    return out;
+  }
+
+  /// True when nothing is pending or ready (diagnostic only).
+  bool idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.empty() && ready_.empty();
+  }
+
+  TableStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Pending {
+    int waiting = 0;
+    std::vector<EdgeData<S>> edges;
+  };
+
+  TileOrder order_;
+  mutable std::mutex mu_;
+  std::unordered_map<IntVec, Pending, IntVecHash> pending_;
+  std::map<IntVec, std::vector<EdgeData<S>>, TileOrder::Less> ready_;
+  TableStats stats_;
+  long long cur_edges_ = 0;
+  long long cur_scalars_ = 0;
+};
+
+/// Sharded variant (paper section VII.C): "separate shared data structures
+/// for groups of closely connected cores — as long as its own queue has
+/// work, a core would not need to compete for locks outside its group."
+/// Tiles are assigned to shards by hash; workers pop from their preferred
+/// shard first and steal from the others when it is empty.  Global
+/// priority becomes approximate across shards, which is the accepted
+/// trade-off.
+template <typename S>
+class ShardedTileTable {
+ public:
+  ShardedTileTable(const TileOrder& order, int shards) {
+    DPGEN_CHECK(shards >= 1, "need at least one queue shard");
+    for (int i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<TileTable<S>>(order));
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  void seed_ready(IntVec tile) {
+    shard_for(tile).seed_ready(std::move(tile));
+  }
+
+  template <typename ExpectedFn>
+  void deliver(const IntVec& tile, ExpectedFn&& expected_deps,
+               EdgeData<S> edge) {
+    shard_for(tile).deliver(tile, std::forward<ExpectedFn>(expected_deps),
+                            std::move(edge));
+  }
+
+  /// Pops from the preferred shard, stealing round-robin when empty.
+  std::optional<ReadyTile<S>> pop(int preferred) {
+    const int n = shards();
+    for (int i = 0; i < n; ++i) {
+      auto r = shards_[static_cast<std::size_t>((preferred + i) % n)]->pop();
+      if (r) return r;
+    }
+    return std::nullopt;
+  }
+
+  bool idle() const {
+    for (const auto& s : shards_)
+      if (!s->idle()) return false;
+    return true;
+  }
+
+  /// Aggregated statistics (peaks are summed over shards, so they bound
+  /// the true simultaneous peak from above).
+  TableStats stats() const {
+    TableStats total;
+    for (const auto& s : shards_) {
+      TableStats t = s->stats();
+      total.peak_pending_tiles += t.peak_pending_tiles;
+      total.peak_buffered_edges += t.peak_buffered_edges;
+      total.peak_buffered_scalars += t.peak_buffered_scalars;
+      total.delivered_edges += t.delivered_edges;
+    }
+    return total;
+  }
+
+ private:
+  TileTable<S>& shard_for(const IntVec& tile) {
+    return *shards_[IntVecHash{}(tile) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<TileTable<S>>> shards_;
+};
+
+}  // namespace dpgen::runtime

@@ -1,0 +1,220 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace dpgen::sim {
+
+namespace {
+
+enum class EventKind { kTileComplete, kEdgeArrive };
+
+struct Event {
+  double time = 0.0;
+  long long seq = 0;  // FIFO tie-break for determinism
+  EventKind kind = EventKind::kEdgeArrive;
+  int node = 0;
+  IntVec tile;  // completed tile / consumer tile
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct NodeState {
+  explicit NodeState(const runtime::TileOrder& order)
+      : ready(order.less()) {}
+
+  std::set<IntVec, runtime::TileOrder::Less> ready;
+  std::unordered_map<IntVec, int, IntVecHash> waiting;       // deps left
+  std::unordered_map<IntVec, int, IntVecHash> stored_edges;  // buffered
+  std::vector<double> core_free;  // absolute free times
+  double busy = 0.0;
+  long long cur_edges = 0;
+};
+
+}  // namespace
+
+SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
+                   const ClusterConfig& cfg) {
+  DPGEN_CHECK(cfg.nodes >= 1 && cfg.cores_per_node >= 1,
+              "cluster needs at least one node and one core");
+  DPGEN_CHECK(cfg.sec_per_cell > 0, "sec_per_cell must be positive");
+
+  tiling::LoadBalancer balancer(model, params, cfg.nodes, cfg.balance);
+
+  // Priority dimensions: load-balanced dims first, then the rest (Fig. 5).
+  std::vector<int> dim_priority = model.lb_dims();
+  for (int k = 0; k < model.dim(); ++k)
+    if (std::find(dim_priority.begin(), dim_priority.end(), k) ==
+        dim_priority.end())
+      dim_priority.push_back(k);
+  runtime::TileOrder order(dim_priority, model.problem().dep_signs(),
+                           cfg.policy);
+
+  std::vector<NodeState> nodes;
+  nodes.reserve(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n) {
+    nodes.emplace_back(order);
+    nodes.back().core_free.assign(
+        static_cast<std::size_t>(cfg.cores_per_node), 0.0);
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  long long seq = 0;
+
+  SimResult result;
+  long long global_edges = 0;
+
+  auto tile_cost = [&](const IntVec& t) {
+    return cfg.tile_overhead_sec +
+           static_cast<double>(model.cell_count(params, t)) *
+               cfg.sec_per_cell;
+  };
+
+  // Dispatch any idle cores of a node onto ready tiles.
+  auto dispatch = [&](int n, double now) {
+    auto& node = nodes[static_cast<std::size_t>(n)];
+    while (!node.ready.empty()) {
+      // Find an idle core.
+      std::size_t core = node.core_free.size();
+      for (std::size_t c = 0; c < node.core_free.size(); ++c) {
+        if (node.core_free[c] <= now + 1e-15) {
+          core = c;
+          break;
+        }
+      }
+      if (core == node.core_free.size()) break;  // all busy
+      IntVec tile = *node.ready.begin();
+      node.ready.erase(node.ready.begin());
+      // Release the buffered edges this tile accumulated.
+      auto it = node.stored_edges.find(tile);
+      if (it != node.stored_edges.end()) {
+        node.cur_edges -= it->second;
+        global_edges -= it->second;
+        node.stored_edges.erase(it);
+      }
+      double duration = tile_cost(tile);
+      double finish = now + duration;
+      node.core_free[core] = finish;
+      node.busy += duration;
+      if (cfg.record_timeline)
+        result.timeline.push_back(
+            {n, static_cast<int>(core), now, finish, tile});
+      events.push({finish, seq++, EventKind::kTileComplete, n, tile});
+    }
+  };
+
+  // Seed the initial (dependency-free) tiles.
+  model.for_each_initial_tile(params, [&](const IntVec& t) {
+    int n = balancer.owner(t);
+    nodes[static_cast<std::size_t>(n)].ready.insert(t);
+  });
+  for (int n = 0; n < cfg.nodes; ++n) dispatch(n, 0.0);
+
+  // Events are processed in same-timestamp batches: all completions and
+  // arrivals at time `now` take effect before any core is dispatched.
+  // This matches the real runtime, where a finishing worker delivers all
+  // its outgoing edges before the next pop, so the priority queue chooses
+  // among every tile that became eligible "at the same moment".
+  double makespan = 0.0;
+  std::set<int> touched;
+  while (!events.empty()) {
+    const double now = events.top().time;
+    makespan = std::max(makespan, now);
+    touched.clear();
+    while (!events.empty() && events.top().time == now) {
+      Event ev = events.top();
+      events.pop();
+      auto& node = nodes[static_cast<std::size_t>(ev.node)];
+      touched.insert(ev.node);
+
+      if (ev.kind == EventKind::kTileComplete) {
+        ++result.tiles;
+        // Route each outgoing edge to its consumer.
+        for (int e = 0; e < model.num_edges(); ++e) {
+          IntVec consumer = vec_sub(
+              ev.tile, model.edges()[static_cast<std::size_t>(e)].offset);
+          if (!model.tile_in_space(params, consumer)) continue;
+          int dst = balancer.owner(consumer);
+          double arrive = ev.time;
+          if (dst != ev.node) {
+            double scalars = static_cast<double>(
+                model.edges()[static_cast<std::size_t>(e)].capacity);
+            arrive += cfg.link_latency_sec +
+                      scalars / cfg.link_bandwidth_scalars;
+            ++result.remote_messages;
+            result.remote_scalars += scalars;
+          }
+          events.push(
+              {arrive, seq++, EventKind::kEdgeArrive, dst, consumer});
+        }
+      } else {  // kEdgeArrive
+        ++node.cur_edges;
+        ++global_edges;
+        result.peak_buffered_edges =
+            std::max(result.peak_buffered_edges, global_edges);
+        ++node.stored_edges[ev.tile];
+        auto it = node.waiting.find(ev.tile);
+        if (it == node.waiting.end()) {
+          int expected =
+              static_cast<int>(model.deps_of(params, ev.tile).size());
+          it = node.waiting.emplace(ev.tile, expected).first;
+        }
+        if (--it->second == 0) {
+          node.waiting.erase(it);
+          node.ready.insert(ev.tile);
+        }
+      }
+    }
+    for (int n : touched) dispatch(n, now);
+  }
+
+  result.makespan = makespan;
+  result.node_busy.reserve(nodes.size());
+  double total_busy = 0.0;
+  for (const auto& n : nodes) {
+    result.node_busy.push_back(n.busy);
+    total_busy += n.busy;
+    DPGEN_ASSERT(n.ready.empty());
+    DPGEN_ASSERT(n.waiting.empty());
+  }
+  result.total_work_sec = total_busy;
+  result.utilization =
+      makespan > 0
+          ? total_busy / (makespan * cfg.nodes * cfg.cores_per_node)
+          : 1.0;
+  DPGEN_CHECK(result.tiles == model.total_tiles(params),
+              "simulation did not execute every tile (scheduling bug)");
+  return result;
+}
+
+std::vector<double> utilization_profile(const SimResult& result,
+                                        int total_cores, int buckets) {
+  DPGEN_CHECK(buckets >= 1 && total_cores >= 1,
+              "utilization_profile needs positive buckets and cores");
+  std::vector<double> busy(static_cast<std::size_t>(buckets), 0.0);
+  if (result.makespan <= 0.0) return busy;
+  const double width = result.makespan / buckets;
+  for (const auto& span : result.timeline) {
+    // Distribute the span's busy time over the buckets it overlaps.
+    int b0 = std::min(buckets - 1, static_cast<int>(span.start / width));
+    int b1 = std::min(buckets - 1, static_cast<int>(span.end / width));
+    for (int b = b0; b <= b1; ++b) {
+      double lo = std::max(span.start, b * width);
+      double hi = std::min(span.end, (b + 1) * width);
+      if (hi > lo) busy[static_cast<std::size_t>(b)] += hi - lo;
+    }
+  }
+  for (auto& v : busy) v /= width * total_cores;
+  return busy;
+}
+
+}  // namespace dpgen::sim

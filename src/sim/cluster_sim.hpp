@@ -1,0 +1,89 @@
+#pragma once
+// Discrete-event cluster simulator (see DESIGN.md, substitutions).
+//
+// The paper's evaluation (Figures 6 and 7, section VI) was run on an
+// 8-node x 24-core cluster; this container has one core and no MPI.  The
+// simulator replays the exact schedule a generated program would follow —
+// the same tile DAG (from the TilingModel), the same ownership (from the
+// LoadBalancer), the same eligible-tile priority (runtime::TileOrder), the
+// same pack/send/unpack sequencing — under a configurable machine model
+// (nodes x cores, per-location compute cost, per-message latency,
+// bandwidth).  Makespan, utilization, idle time and peak buffered edges
+// come out deterministically, which is what the scaling *shapes* of the
+// paper's figures are made of.
+//
+// The simulator is also the measurement device for the paper's memory
+// claims (Fig. 4): it tracks the peak number of buffered tile edges under
+// the column-major and level-set priorities.
+
+#include "runtime/order.hpp"
+#include "tiling/balance.hpp"
+#include "tiling/model.hpp"
+
+namespace dpgen::sim {
+
+/// Machine and policy model for one simulated run.
+struct ClusterConfig {
+  int nodes = 1;
+  int cores_per_node = 1;
+  /// Seconds of compute per location (cell).
+  double sec_per_cell = 1e-6;
+  /// Fixed per-tile cost: buffer allocation, unpacking, queue handling.
+  double tile_overhead_sec = 2e-6;
+  /// Per-message latency for edges crossing nodes.
+  double link_latency_sec = 20e-6;
+  /// Scalars per second across the inter-node link.
+  double link_bandwidth_scalars = 5e8;
+  runtime::PriorityPolicy policy = runtime::PriorityPolicy::kColumnMajor;
+  tiling::BalanceMethod balance = tiling::BalanceMethod::kPerDimension;
+  /// Record one TileSpan per executed tile (timeline analysis).
+  bool record_timeline = false;
+};
+
+/// One executed tile in the recorded timeline.
+struct TileSpan {
+  int node = 0;
+  int core = 0;
+  double start = 0.0;
+  double end = 0.0;
+  IntVec tile;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  /// Sum over tiles of compute time (the serial compute bound).
+  double total_work_sec = 0.0;
+  /// Per-node busy seconds.
+  std::vector<double> node_busy;
+  /// busy / (makespan * nodes * cores): 1.0 is perfect.
+  double utilization = 0.0;
+  long long tiles = 0;
+  long long remote_messages = 0;
+  double remote_scalars = 0.0;
+  /// Peak number of simultaneously buffered edges, summed over nodes
+  /// (Fig. 4 metric).
+  long long peak_buffered_edges = 0;
+  /// Per-tile execution spans (only when ClusterConfig::record_timeline).
+  std::vector<TileSpan> timeline;
+
+  /// Speedup of this run relative to a serial execution of the same work.
+  double speedup() const {
+    return makespan > 0 ? total_work_sec / makespan : 0.0;
+  }
+  /// Efficiency against the given core count.
+  double efficiency(int total_cores) const {
+    return speedup() / static_cast<double>(total_cores);
+  }
+};
+
+/// Simulates one run.  Deterministic: same inputs, same result.
+SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
+                   const ClusterConfig& config);
+
+/// Fraction of total core capacity busy in each of `buckets` equal time
+/// slices of the run (requires a recorded timeline).  The shape makes
+/// pipeline fill/drain phases visible at a glance.
+std::vector<double> utilization_profile(const SimResult& result,
+                                        int total_cores, int buckets);
+
+}  // namespace dpgen::sim

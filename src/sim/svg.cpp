@@ -1,0 +1,70 @@
+#include "sim/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::sim {
+
+namespace {
+
+/// A small qualitative palette; nodes beyond its size wrap around.
+const char* kNodeColors[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                             "#76b7b2", "#edc948", "#b07aa1", "#9c755f"};
+
+}  // namespace
+
+std::string timeline_svg(const SimResult& result, const SvgOptions& opt) {
+  DPGEN_CHECK(!result.timeline.empty(),
+              "timeline_svg needs a recorded timeline "
+              "(set ClusterConfig::record_timeline)");
+  DPGEN_CHECK(result.makespan > 0, "empty run");
+
+  // Lane index per (node, core), ordered.
+  std::map<std::pair<int, int>, int> lanes;
+  for (const auto& s : result.timeline)
+    lanes.emplace(std::make_pair(s.node, s.core),
+                  static_cast<int>(lanes.size()));
+  // Re-number in sorted order so lanes group by node.
+  {
+    int i = 0;
+    for (auto& [key, lane] : lanes) lane = i++;
+  }
+
+  const int lane_stride = opt.lane_height_px + opt.lane_gap_px;
+  const int height = static_cast<int>(lanes.size()) * lane_stride + 20;
+  const double xscale = (opt.width_px - 2) / result.makespan;
+
+  std::string svg = cat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", opt.width_px,
+      "\" height=\"", height, "\" viewBox=\"0 0 ", opt.width_px, " ", height,
+      "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n");
+  for (const auto& s : result.timeline) {
+    int lane = lanes.at({s.node, s.core});
+    double x = 1 + s.start * xscale;
+    double w = std::max(0.5, (s.end - s.start) * xscale);
+    const char* color =
+        kNodeColors[static_cast<std::size_t>(s.node) %
+                    (sizeof kNodeColors / sizeof kNodeColors[0])];
+    svg += cat("<rect x=\"", x, "\" y=\"", 10 + lane * lane_stride,
+               "\" width=\"", w, "\" height=\"", opt.lane_height_px,
+               "\" fill=\"", color, "\"><title>node ", s.node, " core ",
+               s.core, " tile ", vec_to_string(s.tile), " [", s.start, ", ",
+               s.end, "]</title></rect>\n");
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+void write_timeline_svg(const SimResult& result, const std::string& path,
+                        const SvgOptions& options) {
+  std::ofstream out(path);
+  DPGEN_CHECK(out.good(), cat("cannot open '", path, "'"));
+  out << timeline_svg(result, options);
+  DPGEN_CHECK(out.good(), cat("error writing '", path, "'"));
+}
+
+}  // namespace dpgen::sim

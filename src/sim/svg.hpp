@@ -1,0 +1,28 @@
+#pragma once
+// SVG rendering of a simulated execution timeline: one horizontal lane per
+// (node, core), one rectangle per executed tile, colored by node.  Makes
+// pipeline fill/drain, starvation and load imbalance visible at a glance —
+// the qualitative story behind the paper's Figures 6/7 and section VI.C.
+
+#include <string>
+
+#include "sim/cluster_sim.hpp"
+
+namespace dpgen::sim {
+
+struct SvgOptions {
+  int width_px = 960;
+  int lane_height_px = 14;
+  int lane_gap_px = 2;
+};
+
+/// Renders the recorded timeline (requires ClusterConfig::record_timeline)
+/// as a self-contained SVG document.
+std::string timeline_svg(const SimResult& result,
+                         const SvgOptions& options = {});
+
+/// Writes timeline_svg to a file.
+void write_timeline_svg(const SimResult& result, const std::string& path,
+                        const SvgOptions& options = {});
+
+}  // namespace dpgen::sim

@@ -1,0 +1,29 @@
+#include "sim/tune.hpp"
+
+#include "support/error.hpp"
+
+namespace dpgen::sim {
+
+std::vector<WidthResult> sweep_widths(
+    const std::function<spec::ProblemSpec(Int width)>& make_spec,
+    const std::vector<Int>& widths, const IntVec& params,
+    const ClusterConfig& config) {
+  DPGEN_CHECK(!widths.empty(), "sweep_widths needs at least one width");
+  std::vector<WidthResult> out;
+  out.reserve(widths.size());
+  for (Int w : widths) {
+    tiling::TilingModel model(make_spec(w));
+    out.push_back({w, simulate(model, params, config)});
+  }
+  return out;
+}
+
+Int best_width(const std::vector<WidthResult>& sweep) {
+  DPGEN_CHECK(!sweep.empty(), "best_width needs a non-empty sweep");
+  const WidthResult* best = &sweep.front();
+  for (const auto& r : sweep)
+    if (r.result.makespan < best->result.makespan) best = &r;
+  return best->width;
+}
+
+}  // namespace dpgen::sim

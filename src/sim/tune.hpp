@@ -1,0 +1,32 @@
+#pragma once
+// Tile-width autotuning (paper section VI.C).
+//
+// "The optimal settings for these options vary, so that finding the
+// correct values ... is not trivial, and would require a parameter sweep
+// in order to find the best values."  This is that parameter sweep,
+// performed on the simulator so no cluster time is burned: the caller
+// supplies a factory from tile width to spec (widths are baked into the
+// tiling model) and a machine model; sweep_widths simulates each width and
+// best_width returns the argmin makespan.
+
+#include <functional>
+
+#include "sim/cluster_sim.hpp"
+
+namespace dpgen::sim {
+
+struct WidthResult {
+  Int width = 0;
+  SimResult result;
+};
+
+/// Simulates every candidate width; results come back in input order.
+std::vector<WidthResult> sweep_widths(
+    const std::function<spec::ProblemSpec(Int width)>& make_spec,
+    const std::vector<Int>& widths, const IntVec& params,
+    const ClusterConfig& config);
+
+/// The width with the smallest makespan (first wins ties).
+Int best_width(const std::vector<WidthResult>& sweep);
+
+}  // namespace dpgen::sim

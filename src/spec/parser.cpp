@@ -1,0 +1,173 @@
+#include "spec/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::spec {
+
+namespace {
+
+struct Lines {
+  std::vector<std::string> raw;
+  std::size_t next = 0;
+
+  bool done() const { return next >= raw.size(); }
+  int lineno() const { return static_cast<int>(next); }  // 1-based after get
+  std::string get() { return raw[next++]; }
+  [[noreturn]] void fail(int line, const std::string& why) {
+    raise(cat("spec parse error at line ", line, ": ", why));
+  }
+};
+
+/// Parses "(1, 0, -2)" into an IntVec.
+IntVec parse_vector(Lines& lines, int line, const std::string& text) {
+  std::string t = trim(text);
+  if (t.empty() || t.front() != '(' || t.back() != ')')
+    lines.fail(line, cat("expected a vector like (1, 0), got '", text, "'"));
+  IntVec out;
+  for (const auto& tok : split(t.substr(1, t.size() - 2), ", \t")) {
+    try {
+      std::size_t used = 0;
+      out.push_back(std::stoll(tok, &used));
+      if (used != tok.size()) throw std::invalid_argument(tok);
+    } catch (const std::exception&) {
+      lines.fail(line, cat("bad vector component '", tok, "'"));
+    }
+  }
+  if (out.empty()) lines.fail(line, "empty vector");
+  return out;
+}
+
+/// Collects a verbatim {{{ ... }}} block.  The opening token has already
+/// been seen at the end of `first`.
+std::string parse_block(Lines& lines, int open_line) {
+  std::string body;
+  while (!lines.done()) {
+    std::string l = lines.get();
+    if (trim(l) == "}}}") return body;
+    body += l;
+    body += '\n';
+  }
+  lines.fail(open_line, "unterminated {{{ block");
+}
+
+}  // namespace
+
+ProblemSpec parse_spec(const std::string& text) {
+  Lines lines;
+  {
+    std::istringstream in(text);
+    std::string l;
+    while (std::getline(in, l)) lines.raw.push_back(l);
+  }
+
+  ProblemSpec spec;
+  bool saw_params = false, saw_vars = false;
+  // Constraint texts are collected and applied after params/vars are known,
+  // so section order in the file is flexible.
+  std::vector<std::pair<int, std::string>> constraint_lines;
+
+  while (!lines.done()) {
+    int line = lines.lineno() + 1;
+    std::string l = trim(lines.get());
+    if (l.empty() || l[0] == '#') continue;
+
+    auto words = split(l, " \t");
+    const std::string& key = words[0];
+
+    auto rest_after = [&](const std::string& kw) {
+      return trim(l.substr(kw.size()));
+    };
+
+    if (key == "problem") {
+      if (words.size() != 2) lines.fail(line, "usage: problem <name>");
+      spec.name(words[1]);
+    } else if (key == "params") {
+      spec.params({words.begin() + 1, words.end()});
+      saw_params = true;
+    } else if (key == "vars") {
+      if (words.size() < 2) lines.fail(line, "usage: vars <x1> [x2 ...]");
+      spec.vars({words.begin() + 1, words.end()});
+      saw_vars = true;
+    } else if (key == "array") {
+      if (words.size() == 2)
+        spec.array(words[1]);
+      else if (words.size() == 3)
+        spec.array(words[1], words[2]);
+      else
+        lines.fail(line, "usage: array <name> [scalar_type]");
+    } else if (key == "constraints") {
+      if (trim(rest_after("constraints")) != "{")
+        lines.fail(line, "usage: constraints {");
+      bool closed = false;
+      while (!lines.done()) {
+        int cline = lines.lineno() + 1;
+        std::string cl = trim(lines.get());
+        if (cl == "}") {
+          closed = true;
+          break;
+        }
+        if (cl.empty() || cl[0] == '#') continue;
+        constraint_lines.emplace_back(cline, cl);
+      }
+      if (!closed) lines.fail(line, "unterminated constraints block");
+    } else if (key == "dep") {
+      // dep r1 = (1, 0, 0, 0)
+      auto eq = l.find('=');
+      if (words.size() < 2 || eq == std::string::npos)
+        lines.fail(line, "usage: dep <name> = (c1, c2, ...)");
+      spec.dep(words[1], parse_vector(lines, line, l.substr(eq + 1)));
+    } else if (key == "loadbalance") {
+      spec.load_balance({words.begin() + 1, words.end()});
+    } else if (key == "tilewidths") {
+      IntVec w;
+      for (std::size_t i = 1; i < words.size(); ++i) {
+        try {
+          w.push_back(std::stoll(words[i]));
+        } catch (const std::exception&) {
+          lines.fail(line, cat("bad tile width '", words[i], "'"));
+        }
+      }
+      spec.tile_widths(std::move(w));
+    } else if (key == "global" || key == "init" || key == "center") {
+      if (trim(rest_after(key)) != "{{{")
+        lines.fail(line, cat("usage: ", key, " {{{"));
+      std::string body = parse_block(lines, line);
+      if (key == "global")
+        spec.global_code(body);
+      else if (key == "init")
+        spec.init_code(body);
+      else
+        spec.center_code(body);
+    } else {
+      lines.fail(line, cat("unknown directive '", key, "'"));
+    }
+  }
+
+  if (!saw_vars) raise("spec parse error: missing 'vars' directive");
+  (void)saw_params;  // params are optional (fixed-size problems)
+
+  for (const auto& [cline, ctext] : constraint_lines) {
+    try {
+      spec.constraint(ctext);
+    } catch (const Error& e) {
+      raise(cat("spec parse error at line ", cline, ": ", e.what()));
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+ProblemSpec parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  DPGEN_CHECK(in.good(), cat("cannot open spec file '", path, "'"));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_spec(buf.str());
+}
+
+}  // namespace dpgen::spec

@@ -1,0 +1,53 @@
+#pragma once
+// Parser for the generator's text input format (paper section IV.A).
+//
+// The input is a line-oriented description; code fragments are delimited by
+// {{{ ... }}} and copied verbatim.  Example:
+//
+//   problem bandit2
+//   params N
+//   vars s1 f1 s2 f2
+//   array V double
+//
+//   constraints {
+//     s1 >= 0
+//     f1 >= 0
+//     s2 >= 0
+//     f2 >= 0
+//     s1 + f1 + s2 + f2 <= N
+//   }
+//
+//   dep r1 = (1, 0, 0, 0)
+//   dep r2 = (0, 1, 0, 0)
+//   dep r3 = (0, 0, 1, 0)
+//   dep r4 = (0, 0, 0, 1)
+//
+//   loadbalance s1 f1
+//   tilewidths 8 8 8 8
+//
+//   global {{{
+//     static const double p1 = 0.5, p2 = 0.65;
+//   }}}
+//
+//   center {{{
+//     double V1 = ...;
+//     V[loc] = ...;
+//   }}}
+//
+// Lines starting with '#' are comments.  Parse errors carry line numbers.
+
+#include <string>
+
+#include "spec/problem_spec.hpp"
+
+namespace dpgen::spec {
+
+/// Parses a full problem description; throws dpgen::Error with a
+/// line-numbered message on malformed input.  The returned spec has already
+/// passed validate().
+ProblemSpec parse_spec(const std::string& text);
+
+/// Reads the file and parses it with parse_spec.
+ProblemSpec parse_spec_file(const std::string& path);
+
+}  // namespace dpgen::spec

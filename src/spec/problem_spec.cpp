@@ -1,0 +1,212 @@
+#include "spec/problem_spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "poly/loopnest.hpp"
+#include "poly/parse.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::spec {
+
+ProblemSpec& ProblemSpec::name(std::string v) {
+  DPGEN_CHECK(is_identifier(v), "problem name must be an identifier");
+  name_ = std::move(v);
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::params(std::vector<std::string> names) {
+  DPGEN_CHECK(!space_built_, "params() must be set before constraints");
+  params_ = std::move(names);
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::vars(std::vector<std::string> names) {
+  DPGEN_CHECK(!space_built_, "vars() must be set before constraints");
+  vars_ = std::move(names);
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::array(std::string name, std::string scalar_type) {
+  DPGEN_CHECK(is_identifier(name), "array name must be an identifier");
+  array_ = std::move(name);
+  scalar_ = std::move(scalar_type);
+  return *this;
+}
+
+void ProblemSpec::ensure_space_vars() {
+  if (space_built_) return;
+  poly::Vars v;
+  for (const auto& p : params_) v.add(p);
+  for (const auto& x : vars_) v.add(x);
+  space_ = poly::System(v);
+  space_built_ = true;
+}
+
+ProblemSpec& ProblemSpec::constraint(const std::string& text) {
+  ensure_space_vars();
+  space_.add(poly::parse_constraint(text, space_.vars()));
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::dep(std::string name, IntVec vec) {
+  deps_.push_back({std::move(name), std::move(vec)});
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::load_balance(std::vector<std::string> dims) {
+  lb_ = std::move(dims);
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::tile_widths(IntVec widths) {
+  widths_ = std::move(widths);
+  return *this;
+}
+
+ProblemSpec& ProblemSpec::global_code(std::string code) {
+  code_.global = std::move(code);
+  return *this;
+}
+ProblemSpec& ProblemSpec::init_code(std::string code) {
+  code_.init = std::move(code);
+  return *this;
+}
+ProblemSpec& ProblemSpec::center_code(std::string code) {
+  code_.center = std::move(code);
+  return *this;
+}
+
+std::string ProblemSpec::to_text() const {
+  std::string out;
+  out += "problem " + name_ + "\n";
+  if (!params_.empty()) out += "params " + join(params_, " ") + "\n";
+  out += "vars " + join(vars_, " ") + "\n";
+  out += "array " + array_ + " " + scalar_ + "\n\n";
+  out += "constraints {\n";
+  for (const auto& c : space_.constraints())
+    out += "  " + c.to_string(space_.vars()) + "\n";
+  out += "}\n\n";
+  for (const auto& dp : deps_) {
+    std::vector<std::string> comps;
+    for (Int v : dp.vec) comps.push_back(std::to_string(v));
+    out += "dep " + dp.name + " = (" + join(comps, ", ") + ")\n";
+  }
+  if (!lb_.empty()) out += "loadbalance " + join(lb_, " ") + "\n";
+  if (!widths_.empty()) {
+    std::vector<std::string> ws;
+    for (Int w : widths_) ws.push_back(std::to_string(w));
+    out += "tilewidths " + join(ws, " ") + "\n";
+  }
+  auto block = [&](const char* key, const std::string& body) {
+    if (body.empty()) return;
+    DPGEN_CHECK(body.find("\n}}}") == std::string::npos &&
+                    !starts_with(body, "}}}"),
+                cat(key, " code contains the block terminator '}}}'"));
+    out += cat("\n", key, " {{{\n", body);
+    if (body.back() != '\n') out += "\n";
+    out += "}}}\n";
+  };
+  block("global", code_.global);
+  block("init", code_.init);
+  block("center", code_.center);
+  return out;
+}
+
+void ProblemSpec::validate() {
+  ensure_space_vars();
+  const int d = dim();
+  DPGEN_CHECK(d >= 1, "a problem needs at least one loop variable");
+  DPGEN_CHECK(!space_.empty(),
+              "a problem needs iteration-space constraints");
+
+  // Tile widths: one per dimension, each >= 1.
+  DPGEN_CHECK(static_cast<int>(widths_.size()) == d,
+              cat("expected ", d, " tile widths, got ", widths_.size()));
+  for (Int w : widths_)
+    DPGEN_CHECK(w >= 1, "tile widths must be positive");
+
+  // Dependencies: correct arity, nonzero, unique names, consistent
+  // per-dimension signs (rectangular tiling legality).
+  DPGEN_CHECK(!deps_.empty(), "a problem needs at least one dependency");
+  std::set<std::string> dep_names;
+  for (const auto& dp : deps_) {
+    DPGEN_CHECK(is_identifier(dp.name),
+                cat("dependency name '", dp.name, "' is not an identifier"));
+    DPGEN_CHECK(dep_names.insert(dp.name).second,
+                cat("duplicate dependency name '", dp.name, "'"));
+    DPGEN_CHECK(static_cast<int>(dp.vec.size()) == d,
+                cat("dependency ", dp.name, " has ", dp.vec.size(),
+                    " components, expected ", d));
+    DPGEN_CHECK(!vec_is_zero(dp.vec),
+                cat("dependency ", dp.name, " is the zero vector"));
+  }
+  // Scan-direction assignment (generalises the paper's "all positive, or
+  // reverse the loop" rule): execution scans the loop variables in spec
+  // order, dimension k descending when dep_signs_[k] == +1 and ascending
+  // when -1.  A schedule exists iff every dependency vector is
+  // lexicographically positive under some such assignment — i.e. in its
+  // first nonzero dimension (loop order) all dependencies that start there
+  // agree in sign.  Laterally mixed signs (e.g. the Viterbi/trellis deps
+  // (1,-1),(1,0),(1,1)) are fine: they never constrain the lateral
+  // dimension at cell level.  Tile-level acyclicity is checked with the
+  // same rule on the derived tile offsets below.
+  dep_signs_.assign(static_cast<std::size_t>(d), 0);
+  auto constrain = [&](int k, Int component, const std::string& what) {
+    int s = component > 0 ? 1 : -1;
+    auto ks = static_cast<std::size_t>(k);
+    DPGEN_CHECK(
+        dep_signs_[ks] == 0 || dep_signs_[ks] == s,
+        cat("no valid scan direction for dimension '", vars_[ks], "': ",
+            what,
+            " require conflicting directions (reorder the loop variables, "
+            "or use tile width 1 in the pipelined dimension)"));
+    dep_signs_[ks] = s;
+  };
+  for (const auto& dp : deps_) {
+    for (int k = 0; k < d; ++k) {
+      Int r = dp.vec[static_cast<std::size_t>(k)];
+      if (r == 0) continue;
+      constrain(k, r, cat("dependency vectors (", dp.name, ")"));
+      break;  // only the first nonzero component constrains the scan
+    }
+  }
+  // Tile-level acyclicity (the same rule applied to the derived tile
+  // offsets) is checked by TilingModel, which can first prove which
+  // offsets actually connect two existing tiles — a width-only check here
+  // would falsely reject offsets that never materialise (e.g. a layer
+  // dimension fully covered by one tile).
+
+  // Load-balance dims: distinct loop variables.
+  std::set<std::string> seen_lb;
+  for (const auto& dim_name : lb_) {
+    DPGEN_CHECK(std::find(vars_.begin(), vars_.end(), dim_name) != vars_.end(),
+                cat("load-balance dimension '", dim_name,
+                    "' is not a loop variable"));
+    DPGEN_CHECK(seen_lb.insert(dim_name).second,
+                cat("duplicate load-balance dimension '", dim_name, "'"));
+  }
+
+  // The iteration space must be bounded in the loop variables (possibly in
+  // terms of the parameters).
+  std::vector<int> order;
+  for (int k = 0; k < d; ++k) order.push_back(space_var(k));
+  poly::LoopNest nest = poly::LoopNest::build(space_, order);
+  DPGEN_CHECK(!nest.unbounded(),
+              "the iteration space is unbounded in some loop variable; add "
+              "constraints bounding every variable (in terms of the "
+              "parameters)");
+
+  // Contradictions among the loop variables surface when they are all
+  // projected out (a direct simplify only catches syntactic cases).
+  poly::System check = space_.eliminated_all(order);
+  check.simplify();
+  DPGEN_CHECK(!check.known_infeasible(),
+              "the iteration-space constraints are contradictory");
+
+  DPGEN_CHECK(!code_.center.empty(),
+              "a problem needs center-loop code (the recurrence body)");
+}
+
+}  // namespace dpgen::spec

@@ -1,0 +1,118 @@
+#pragma once
+// The user-facing problem description (paper section IV.A / IV.B).
+//
+// A ProblemSpec captures everything the generator needs about a dynamic
+// programming problem:
+//   * input parameter names (e.g. N),
+//   * loop variable names in loop order (x_1..x_d),
+//   * the state array name and scalar type,
+//   * a system of linear inequalities over (params, loop vars) describing
+//     the iteration space,
+//   * named template dependency vectors r_1..r_k (f(x) uses f(x + r_i)),
+//   * load-balancing dimensions lb_1..lb_j (a priority-ordered subset of
+//     the loop variables),
+//   * per-dimension tile widths w_k,
+//   * C/C++ code fragments: global definitions, initialization code and
+//     the center-loop body.
+//
+// Specs are built either programmatically (builder methods below) or from
+// the text input format (spec/parser.hpp).  validate() enforces the class
+// of problems the generator supports — in particular that every dependency
+// dimension has a consistent sign, which is the rectangular-tiling legality
+// condition the paper assumes ("the template vectors of the dependencies
+// are all assumed to be positive; if not ... loops iterate the other way").
+
+#include <string>
+#include <vector>
+
+#include "poly/system.hpp"
+
+namespace dpgen::spec {
+
+/// One template dependency: f(x) reads f(x + vec).
+struct TemplateDep {
+  std::string name;  // e.g. "r1"; exposed to user code as loc_r1/is_valid_r1
+  IntVec vec;        // length d
+};
+
+/// User-supplied code fragments, inserted verbatim into generated programs
+/// (and, for the center loop, compiled into an engine kernel for direct
+/// execution).
+struct CodeFragments {
+  std::string global;  // file-scope definitions
+  std::string init;    // run once after MPI initialization
+  std::string center;  // the center-loop body
+};
+
+/// The complete description of one dynamic programming problem.
+class ProblemSpec {
+ public:
+  // ---- builder interface -------------------------------------------------
+  ProblemSpec& name(std::string v);
+  ProblemSpec& params(std::vector<std::string> names);
+  /// Loop variables in loop (scan) order, outermost first.
+  ProblemSpec& vars(std::vector<std::string> names);
+  ProblemSpec& array(std::string name, std::string scalar_type = "double");
+  /// Parses and adds one constraint, e.g. "s1 + f1 <= N".  Must be called
+  /// after params() and vars().
+  ProblemSpec& constraint(const std::string& text);
+  ProblemSpec& dep(std::string name, IntVec vec);
+  ProblemSpec& load_balance(std::vector<std::string> dims);
+  ProblemSpec& tile_widths(IntVec widths);
+  ProblemSpec& global_code(std::string code);
+  ProblemSpec& init_code(std::string code);
+  ProblemSpec& center_code(std::string code);
+
+  // ---- accessors ---------------------------------------------------------
+  const std::string& problem_name() const { return name_; }
+  const std::vector<std::string>& param_names() const { return params_; }
+  const std::vector<std::string>& var_names() const { return vars_; }
+  const std::string& array_name() const { return array_; }
+  const std::string& scalar_type() const { return scalar_; }
+  const std::vector<TemplateDep>& deps() const { return deps_; }
+  const std::vector<std::string>& load_balance_dims() const { return lb_; }
+  const IntVec& widths() const { return widths_; }
+  const CodeFragments& code() const { return code_; }
+
+  /// Number of loop dimensions d.
+  int dim() const { return static_cast<int>(vars_.size()); }
+  int nparams() const { return static_cast<int>(params_.size()); }
+
+  /// The iteration-space system over Vars(params ++ loop vars): parameter i
+  /// has index i, loop variable k has index nparams() + k.
+  const poly::System& space() const { return space_; }
+
+  /// Index of loop variable k within space().vars().
+  int space_var(int k) const { return nparams() + k; }
+
+  /// Per-dimension dependency sign: +1 (all dep components >= 0, some > 0),
+  /// -1 (all <= 0, some < 0) or 0 (all zero).  Only valid after validate().
+  const std::vector<int>& dep_signs() const { return dep_signs_; }
+
+  /// Checks the spec describes a problem the generator supports; throws
+  /// dpgen::Error with a precise message otherwise.  Fills dep_signs().
+  void validate();
+
+  /// Serialises the spec in the text input format; parse_spec(to_text())
+  /// round-trips.  Throws when a code fragment contains the block
+  /// terminator "}}}" on a line of its own.
+  std::string to_text() const;
+
+ private:
+  void ensure_space_vars();
+
+  std::string name_ = "problem";
+  std::vector<std::string> params_;
+  std::vector<std::string> vars_;
+  std::string array_ = "V";
+  std::string scalar_ = "double";
+  poly::System space_;
+  bool space_built_ = false;
+  std::vector<TemplateDep> deps_;
+  std::vector<std::string> lb_;
+  IntVec widths_;
+  CodeFragments code_;
+  std::vector<int> dep_signs_;
+};
+
+}  // namespace dpgen::spec

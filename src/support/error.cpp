@@ -1,0 +1,12 @@
+#include "support/error.hpp"
+
+namespace dpgen {
+
+void raise(const std::string& message) { throw Error(message); }
+
+void raise_assert(const char* expr, const char* file, int line) {
+  throw Error(std::string("internal invariant violated: ") + expr + " at " +
+              file + ":" + std::to_string(line));
+}
+
+}  // namespace dpgen

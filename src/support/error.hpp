@@ -1,0 +1,39 @@
+#pragma once
+// Error handling for the dpgen library.
+//
+// All user-facing failures (bad problem specifications, infeasible systems,
+// arithmetic overflow in exact computations) throw dpgen::Error.  Internal
+// invariant violations use DPGEN_ASSERT, which also throws so that tests can
+// exercise failure paths without aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace dpgen {
+
+/// Exception type thrown by every checked failure in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws dpgen::Error with the given message.  Out-of-line so that the
+/// throw site does not bloat headers.
+[[noreturn]] void raise(const std::string& message);
+
+/// Throws dpgen::Error annotated with file/line, used by DPGEN_ASSERT.
+[[noreturn]] void raise_assert(const char* expr, const char* file, int line);
+
+}  // namespace dpgen
+
+/// Validates a user-visible precondition; throws dpgen::Error on failure.
+#define DPGEN_CHECK(cond, msg)          \
+  do {                                  \
+    if (!(cond)) ::dpgen::raise((msg)); \
+  } while (0)
+
+/// Validates an internal invariant; throws dpgen::Error on failure.
+#define DPGEN_ASSERT(cond)                                        \
+  do {                                                            \
+    if (!(cond)) ::dpgen::raise_assert(#cond, __FILE__, __LINE__); \
+  } while (0)

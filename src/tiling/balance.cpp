@@ -1,0 +1,85 @@
+#include "tiling/balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::tiling {
+
+LoadBalancer::LoadBalancer(const TilingModel& model, const IntVec& params,
+                           int nranks, BalanceMethod method)
+    : model_(model), nranks_(nranks), method_(method) {
+  DPGEN_CHECK(nranks >= 1, "load balancer needs at least one rank");
+  DPGEN_CHECK(nranks == 1 || !model.lb_dims().empty(),
+              "multi-rank runs require load-balance dimensions in the spec");
+  work_.assign(static_cast<std::size_t>(nranks), 0);
+  tiles_.assign(static_cast<std::size_t>(nranks), 0);
+
+  struct Cell {
+    IntVec lb;
+    Int work;
+    Int tiles;
+  };
+  std::vector<Cell> cells;
+  model.for_each_lb_cell(params, [&](const IntVec& lb) {
+    Cell c;
+    c.lb = lb;
+    c.work = model.cell_count_lb(params, lb);
+    c.tiles = model.tile_count_lb(params, lb);
+    total_work_ = add_ck(total_work_, c.work);
+    cells.push_back(std::move(c));
+  });
+
+  if (method == BalanceMethod::kHyperplane) {
+    // Order by the all-ones hyperplane over the balanced dimensions, then
+    // lexicographically; the prefix cut below then slices along diagonal
+    // level sets (Fig. 8).
+    std::stable_sort(cells.begin(), cells.end(),
+                     [](const Cell& a, const Cell& b) {
+                       Int sa = std::accumulate(a.lb.begin(), a.lb.end(), Int{0});
+                       Int sb = std::accumulate(b.lb.begin(), b.lb.end(), Int{0});
+                       if (sa != sb) return sa < sb;
+                       return a.lb < b.lb;
+                     });
+  }
+  // (kPerDimension keeps the natural lb1-major scan order.)
+
+  Int cum = 0;
+  for (const auto& c : cells) {
+    int rank = 0;
+    if (total_work_ > 0) {
+      // Prefix cut: the cell whose preceding cumulative work is in
+      // [i*W/P, (i+1)*W/P) goes to rank i.
+      rank = static_cast<int>(
+          (static_cast<__int128>(cum) * nranks_) / total_work_);
+      rank = std::min(rank, nranks_ - 1);
+    }
+    owner_by_cell_.emplace(c.lb, rank);
+    work_[static_cast<std::size_t>(rank)] += c.work;
+    tiles_[static_cast<std::size_t>(rank)] += c.tiles;
+    cum = add_ck(cum, c.work);
+  }
+}
+
+int LoadBalancer::owner(const IntVec& tile) const {
+  if (model_.lb_dims().empty()) return 0;
+  IntVec lb(model_.lb_dims().size());
+  for (std::size_t i = 0; i < lb.size(); ++i)
+    lb[i] = tile[static_cast<std::size_t>(model_.lb_dims()[i])];
+  auto it = owner_by_cell_.find(lb);
+  DPGEN_CHECK(it != owner_by_cell_.end(),
+              cat("tile ", vec_to_string(tile),
+                  " has no load-balance cell; is it in the tile space?"));
+  return it->second;
+}
+
+double LoadBalancer::imbalance() const {
+  if (total_work_ == 0) return 1.0;
+  Int max_work = *std::max_element(work_.begin(), work_.end());
+  double avg = static_cast<double>(total_work_) / nranks_;
+  return static_cast<double>(max_work) / avg;
+}
+
+}  // namespace dpgen::tiling

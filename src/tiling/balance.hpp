@@ -1,0 +1,56 @@
+#pragma once
+// Load balancing across nodes (paper section IV.J, plus the Figure 8
+// hyperplane method from section VII.B).
+//
+// The per-dimension method cuts the load-balance cells (tiles grouped by
+// their lb_1..lb_j indices) in lb_1-major order into contiguous runs of
+// equal work, using exact per-cell work counts (the role the paper's
+// Ehrhart polynomials play).  The hyperplane method orders cells by the
+// level sets of the all-ones hyperplane over the balanced dimensions before
+// cutting, which shortens the pipeline critical path on wedge-shaped
+// spaces.
+
+#include <unordered_map>
+
+#include "tiling/model.hpp"
+
+namespace dpgen::tiling {
+
+enum class BalanceMethod {
+  kPerDimension,  // paper IV.J: cut along lb1, refine with lb2, ...
+  kHyperplane,    // paper VII.B / Fig. 8: cut along sum(t_lb) level sets
+};
+
+/// Assigns every tile to a rank so that per-rank work (location counts) is
+/// as even as the cell granularity allows.
+class LoadBalancer {
+ public:
+  /// Requires lb dimensions in the model when nranks > 1.
+  LoadBalancer(const TilingModel& model, const IntVec& params, int nranks,
+               BalanceMethod method = BalanceMethod::kPerDimension);
+
+  int nranks() const { return nranks_; }
+  BalanceMethod method() const { return method_; }
+
+  /// Owning rank of a tile (must be in the tile space).
+  int owner(const IntVec& tile) const;
+
+  Int total_work() const { return total_work_; }
+  Int owned_work(int rank) const { return work_[static_cast<std::size_t>(rank)]; }
+  Int owned_tiles(int rank) const { return tiles_[static_cast<std::size_t>(rank)]; }
+  Int num_cells() const { return static_cast<Int>(owner_by_cell_.size()); }
+
+  /// Largest-to-average work ratio: 1.0 is a perfect balance.
+  double imbalance() const;
+
+ private:
+  const TilingModel& model_;
+  int nranks_;
+  BalanceMethod method_;
+  Int total_work_ = 0;
+  std::vector<Int> work_;
+  std::vector<Int> tiles_;
+  std::unordered_map<IntVec, int, IntVecHash> owner_by_cell_;
+};
+
+}  // namespace dpgen::tiling

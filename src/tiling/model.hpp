@@ -1,0 +1,214 @@
+#pragma once
+// The tiling model (paper sections IV.E - IV.I, IV.K, IV.L).
+//
+// From a validated ProblemSpec, TilingModel derives every compile-time
+// artifact of the generation process:
+//   * the extended system of linear inequalities linking original loop
+//     variables x_k to tile indices t_k and local indices i_k through
+//     x_k = i_k + w_k * t_k,
+//   * the tile space (FM projection onto parameters + tile indices),
+//   * tile dependency offsets derived from the template vectors,
+//   * ghost-cell geometry, buffer strides and the constant mapping-function
+//     offsets (loc, loc_r1, ...),
+//   * per-dependency validity checks (is_valid_r1, ...),
+//   * pack/unpack iteration spaces for every tile edge,
+//   * the face systems used to find the initial (dependency-free) tiles.
+//
+// The same model drives both the interpreted engine (direct execution) and
+// the code generator (emitted C++), so generated programs and engine runs
+// share one definition of the schedule.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "poly/count.hpp"
+#include "poly/loopnest.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dpgen::tiling {
+
+/// One runtime validity check for a dependency: the original-space
+/// constraint shifted by the template vector.  `expr` is over the original
+/// space variables (params, x); the dependency access is valid only when
+/// every check's expr evaluates >= 0 (Ge) or == 0 (Eq).
+struct ValidityCheck {
+  poly::LinExpr expr;
+  poly::Rel rel = poly::Rel::Ge;
+};
+
+/// One tile edge: data flowing from producer tile q to consumer tile
+/// q - offset (the consumer reads across its +offset boundary).
+struct Edge {
+  IntVec offset;               // the tile-dependency offset (delta)
+  std::vector<int> deps;       // template-dependency indices crossing it
+  IntVec box_lo, box_hi;       // producer-local slab bounds per dimension
+  Int capacity = 0;            // product of slab extents (upper bound)
+};
+
+class TilingModel {
+ public:
+  /// Builds the model; validates the spec first.
+  explicit TilingModel(spec::ProblemSpec problem);
+
+  const spec::ProblemSpec& problem() const { return spec_; }
+  int dim() const { return d_; }
+  int nparams() const { return p_; }
+
+  // ---- variable tables ----------------------------------------------------
+  /// Extended variables: params, then tile indices, then local indices.
+  const poly::Vars& ext_vars() const { return ext_vars_; }
+  int ext_param(int i) const { return i; }
+  int ext_tile(int k) const { return p_ + k; }
+  int ext_local(int k) const { return p_ + d_ + k; }
+
+  const poly::System& extended() const { return extended_; }
+  const poly::System& tile_space() const { return tile_space_; }
+
+  // ---- tiles ----------------------------------------------------------------
+  /// True when tile t exists for the given parameter values.  This is THE
+  /// tile-existence criterion used consistently by dependency counting,
+  /// ownership and discovery.
+  bool tile_in_space(const IntVec& params, const IntVec& tile) const;
+
+  /// Invokes fn(t) for every tile, scanned in tile-index order.
+  void for_each_tile(const IntVec& params,
+                     const std::function<void(const IntVec&)>& fn) const;
+
+  /// Total number of tiles (including tiles whose local space is empty).
+  Int total_tiles(const IntVec& params) const;
+
+  /// Total number of locations (lattice points of the iteration space).
+  Int total_cells(const IntVec& params) const;
+
+  // ---- dependencies --------------------------------------------------------
+  /// All distinct nonzero tile-dependency offsets (paper IV.F).
+  const std::vector<Edge>& edges() const { return edges_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Offsets delta such that tile t depends on tile t + delta (i.e. both are
+  /// in the tile space).  Returns edge indices.
+  std::vector<int> deps_of(const IntVec& params, const IntVec& tile) const;
+
+  // ---- geometry (paper IV.H) -------------------------------------------------
+  const IntVec& ghost_lo() const { return ghost_lo_; }
+  const IntVec& ghost_hi() const { return ghost_hi_; }
+  /// Tile buffer extent per dimension: w_k + ghost_lo_k + ghost_hi_k.
+  const IntVec& buffer_extents() const { return extents_; }
+  const IntVec& strides() const { return strides_; }
+  Int buffer_size() const { return buffer_size_; }
+
+  /// Linear index of local coordinate i (interior: 0 <= i_k < w_k; ghost
+  /// coordinates extend to [-ghost_lo_k, w_k - 1 + ghost_hi_k]).
+  Int local_index(const IntVec& local) const;
+
+  /// Constant offset added to `loc` to reach dependency j (loc_rj).
+  Int dep_loc_offset(int dep) const { return dep_offsets_[static_cast<std::size_t>(dep)]; }
+
+  /// Global coordinate of local cell i in tile t: x_k = i_k + w_k t_k.
+  IntVec global_of(const IntVec& tile, const IntVec& local) const;
+
+  // ---- local iteration (paper IV.L) -----------------------------------------
+  /// Scans the cells of tile t in loop order; fn receives the local
+  /// coordinate (interior only) and the global coordinate.
+  void for_each_cell(
+      const IntVec& params, const IntVec& tile,
+      const std::function<void(const IntVec& local, const IntVec& global)>& fn)
+      const;
+
+  /// Number of cells in tile t (the tile's work).
+  Int cell_count(const IntVec& params, const IntVec& tile) const;
+
+  /// Work of all tiles whose load-balanced indices match `lb_values`
+  /// (the paper's second Ehrhart polynomial, evaluated exactly).
+  Int cell_count_lb(const IntVec& params, const IntVec& lb_values) const;
+
+  /// Tile count with load-balanced indices fixed (used for per-rank
+  /// owned-tile totals).
+  Int tile_count_lb(const IntVec& params, const IntVec& lb_values) const;
+
+  // ---- validity (paper IV.G) ---------------------------------------------------
+  /// Checks for dependency j, expressed over the original space variables.
+  const std::vector<ValidityCheck>& validity_checks(int dep) const {
+    return validity_[static_cast<std::size_t>(dep)];
+  }
+  /// True when x + r_j is inside the iteration space; `orig_point` is the
+  /// full original-space assignment (params then x).
+  bool dep_valid_at(const IntVec& orig_point, int dep) const;
+
+  // ---- packing (paper IV.I) ------------------------------------------------------
+  /// Scans the producer-local cells of edge e for producer tile q, in the
+  /// canonical (pack == unpack) order.  fn receives the producer-local
+  /// coordinate j; the consumer-side ghost coordinate is j + w*delta.
+  void for_each_pack_cell(const IntVec& params, const IntVec& producer,
+                          int edge,
+                          const std::function<void(const IntVec&)>& fn) const;
+
+  // ---- initial tiles (paper IV.K) ---------------------------------------------------
+  /// Finds every tile all of whose dependencies fall outside the tile
+  /// space, by scanning candidate face systems (not the whole tile space).
+  /// Returns the number of candidate tiles examined (for the INIT bench).
+  Int for_each_initial_tile(
+      const IntVec& params,
+      const std::function<void(const IntVec&)>& fn) const;
+
+  // ---- load balancing support ------------------------------------------------------
+  /// Indices (within 0..d-1) of the load-balanced dimensions, priority
+  /// order.
+  const std::vector<int>& lb_dims() const { return lb_dims_; }
+  /// The load-balancing space: tile space with non-balanced tile indices
+  /// eliminated (over params + t_lb in ext_vars order).
+  const poly::System& lb_space() const { return lb_space_; }
+  /// Scans load-balance cells in priority (lb1-major) order.
+  void for_each_lb_cell(const IntVec& params,
+                        const std::function<void(const IntVec&)>& fn) const;
+
+  // ---- loop nests, exposed for code emission ---------------------------------
+  const poly::LoopNest& tile_nest() const { return tile_nest_; }
+  const poly::LoopNest& local_nest() const { return local_nest_; }
+  const poly::LoopNest& lb_nest() const { return lb_nest_; }
+  const poly::LoopNest& pack_nest(int edge) const {
+    return pack_nests_[static_cast<std::size_t>(edge)];
+  }
+  const std::vector<poly::LoopNest>& face_nests() const { return face_nests_; }
+
+ private:
+  IntVec ext_seed(const IntVec& params) const;
+
+  spec::ProblemSpec spec_;
+  int p_ = 0;
+  int d_ = 0;
+
+  poly::Vars ext_vars_;
+  poly::System extended_;
+  poly::System tile_space_;
+
+  poly::LoopNest tile_nest_;   // scan t over tile_space_
+  poly::LoopNest local_nest_;  // scan i over extended_ (t fixed via seed)
+
+  IntVec ghost_lo_, ghost_hi_, extents_, strides_;
+  Int buffer_size_ = 0;
+  std::vector<Int> dep_offsets_;  // constant loc_rj offsets
+
+  std::vector<Edge> edges_;
+  std::vector<poly::LoopNest> pack_nests_;  // one per edge
+
+  std::vector<std::vector<ValidityCheck>> validity_;  // per dependency
+
+  std::vector<poly::System> face_systems_;  // initial-tile candidates
+  std::vector<poly::LoopNest> face_nests_;
+
+  std::vector<int> lb_dims_;
+  poly::System lb_space_;
+  poly::LoopNest lb_nest_;
+
+  // Counters (constructed lazily would complicate const-ness; build once).
+  std::unique_ptr<poly::LatticeCounter> cells_counter_;     // all cells
+  std::unique_ptr<poly::LatticeCounter> tiles_counter_;     // all tiles
+  std::unique_ptr<poly::LatticeCounter> tile_cells_counter_;  // cells of one tile
+  std::unique_ptr<poly::LatticeCounter> lb_cells_counter_;  // cells per lb cell
+  std::unique_ptr<poly::LatticeCounter> lb_tiles_counter_;  // tiles per lb cell
+};
+
+}  // namespace dpgen::tiling

@@ -1,0 +1,65 @@
+#pragma once
+// Shared helpers for tests that compile and run generated programs with
+// the host toolchain.  The consuming CMake target must define
+// DPGEN_CXX_COMPILER, DPGEN_SRC_DIR, DPGEN_LIB_RUNTIME, DPGEN_LIB_MINIMPI
+// and DPGEN_LIB_SUPPORT.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/str.hpp"
+#include "support/vec.hpp"
+
+namespace dpgen::codegen_test {
+
+/// Runs a shell command, returning (exit status, combined output).
+inline std::pair<int, std::string> run_command(const std::string& cmd) {
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (!pipe) return {-1, "popen failed"};
+  std::string out;
+  char buf[4096];
+  while (std::size_t n = fread(buf, 1, sizeof buf, pipe)) out.append(buf, n);
+  int status = pclose(pipe);
+  return {status, out};
+}
+
+/// Extracts the value printed for the given coordinates.
+inline double parse_result(const std::string& output, const IntVec& point) {
+  std::string key = "RESULT (";
+  for (std::size_t i = 0; i < point.size(); ++i)
+    key += (i ? ", " : "") + std::to_string(point[i]);
+  key += ") = ";
+  auto pos = output.find(key);
+  EXPECT_NE(pos, std::string::npos) << "missing '" << key << "' in:\n"
+                                    << output;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(output.c_str() + pos + key.size(), nullptr);
+}
+
+struct CompiledProgram {
+  std::string binary;
+  bool ok = false;
+  std::string log;
+};
+
+/// Compiles a generated source warning-clean (-Wall -Wextra -Werror) with
+/// OpenMP enabled and the runtime libraries linked in.
+inline CompiledProgram compile_program(const std::string& src_path,
+                                       const std::string& tag) {
+  CompiledProgram out;
+  out.binary = testing::TempDir() + "/dpgen_e2e_" + tag;
+  std::string cmd = cat(
+      DPGEN_CXX_COMPILER, " -std=c++20 -O1 -fopenmp -Wall -Wextra -Werror ",
+      "-DDPGEN_RUNTIME_USE_OPENMP -I", DPGEN_SRC_DIR, " ", src_path, " ",
+      DPGEN_LIB_RUNTIME, " ", DPGEN_LIB_MINIMPI, " ", DPGEN_LIB_SUPPORT,
+      " -lpthread -o ", out.binary);
+  auto [status, log] = run_command(cmd);
+  out.ok = (status == 0);
+  out.log = log;
+  return out;
+}
+
+}  // namespace dpgen::codegen_test

@@ -1,0 +1,416 @@
+// Tests for the code generator: emission helpers, structural checks on the
+// generated source, and a full end-to-end cycle — generate, compile with
+// the host toolchain (OpenMP enabled), run as a hybrid program, and compare
+// the printed results against the serial oracle and the engine.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emit.hpp"
+#include "codegen/generator.hpp"
+#include "codegen_util.hpp"
+#include "poly/parse.hpp"
+#include "problems/problems.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::codegen {
+namespace {
+
+TEST(EmitExpr, RendersAffineExpressions) {
+  std::vector<std::string> names{"N", "x"};
+  poly::Vars vars({"N", "x"});
+  EXPECT_EQ(expr_cpp(poly::parse_expr("2*x - N + 3", vars), names),
+            "-N + 2LL*x + 3LL");
+  EXPECT_EQ(expr_cpp(poly::parse_expr("x", vars), names), "x");
+  EXPECT_EQ(expr_cpp(poly::LinExpr(2), names), "0LL");
+  EXPECT_EQ(expr_cpp(poly::LinExpr(2, -7), names), "-7LL");
+}
+
+TEST(EmitBound, LowerAndUpperBounds) {
+  std::vector<std::string> names{"N", "x"};
+  poly::Bound lower;  // 2x - N >= 0  ->  x >= ceil(N/2)
+  lower.coef = 2;
+  lower.rest = poly::LinExpr(2);
+  lower.rest.set_coef(0, -1);
+  EXPECT_EQ(bound_cpp(lower, names), "dp_ceildiv(N, 2LL)");
+
+  poly::Bound upper;  // -x + N >= 0  ->  x <= N
+  upper.coef = -1;
+  upper.rest = poly::LinExpr(2);
+  upper.rest.set_coef(0, 1);
+  EXPECT_EQ(bound_cpp(upper, names), "(N)");
+}
+
+TEST(EmitSystem, ConjunctionOfConstraints) {
+  poly::Vars vars({"x"});
+  poly::System s(vars);
+  s.add(poly::parse_constraint("x >= 0", vars));
+  s.add(poly::parse_constraint("x <= 5", vars));
+  std::string test = system_test_cpp(s, {"x"});
+  EXPECT_NE(test.find("(x) >= 0"), std::string::npos);
+  EXPECT_NE(test.find(" && "), std::string::npos);
+  EXPECT_EQ(system_test_cpp(poly::System(vars), {"x"}), "true");
+}
+
+TEST(EmitWriter, IndentationAndBlocks) {
+  Writer w;
+  w.line("a;");
+  {
+    Block b(w, "if (x)");
+    w.line("b;");
+  }
+  EXPECT_EQ(w.str(), "a;\nif (x) {\n  b;\n}\n");
+}
+
+TEST(GeneratedSource, ContainsPaperArtifacts) {
+  problems::Problem p = problems::bandit2(8);
+  tiling::TilingModel model(p.spec);
+  std::string src = generate_program(model);
+  // The paper's user-visible symbols (IV.B).
+  EXPECT_NE(src.find("loc_r1"), std::string::npos);
+  EXPECT_NE(src.find("is_valid_r1"), std::string::npos);
+  // The user's center code, inserted verbatim.
+  EXPECT_NE(src.find("V[loc] = v1 > v2 ? v1 : v2;"), std::string::npos);
+  // Structural pieces: tile space test, pack/unpack switches, balancer.
+  EXPECT_NE(src.find("dp_tile_exists"), std::string::npos);
+  EXPECT_NE(src.find("switch (dp_e)"), std::string::npos);
+  EXPECT_NE(src.find("dp_cell_count_lb"), std::string::npos);
+  // The 4-simplex total work is a clean Ehrhart polynomial: the fit must
+  // have succeeded (period 1).
+  EXPECT_NE(src.find("Ehrhart quasi-polynomial, period 1"),
+            std::string::npos);
+  // Descending loops for the positive-dependency dimensions (Fig. 3).
+  EXPECT_NE(src.find("--i_s1"), std::string::npos);
+}
+
+TEST(GeneratedSource, SharedValidityChecksComputedOnce) {
+  // Paper IV.G: bandit2's four dependencies all check the same shifted sum
+  // constraint, so the generated code must evaluate it exactly once.
+  problems::Problem p = problems::bandit2(8);
+  tiling::TilingModel model(p.spec);
+  std::string src = generate_program(model);
+  // The shared check expression appears once; all four flags reference it.
+  std::size_t checks = 0;
+  for (std::size_t pos = src.find("const bool dp_chk_");
+       pos != std::string::npos;
+       pos = src.find("const bool dp_chk_", pos + 1))
+    ++checks;
+  EXPECT_EQ(checks, 1u);
+  EXPECT_NE(src.find("const bool is_valid_r4 = dp_chk_0;"),
+            std::string::npos);
+}
+
+TEST(GeneratedSource, EchoesTheSpecForProvenance) {
+  problems::Problem p = problems::bandit2(8);
+  tiling::TilingModel model(p.spec);
+  std::string src = generate_program(model);
+  EXPECT_NE(src.find("//   problem bandit2"), std::string::npos);
+  EXPECT_NE(src.find("//   dep r1 = (1, 0, 0, 0)"), std::string::npos);
+  EXPECT_NE(src.find("//   tilewidths 8 8 8 8"), std::string::npos);
+}
+
+TEST(GeneratedSource, ProbeDefaultsToOrigin) {
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  std::string src = generate_program(model);
+  EXPECT_NE(src.find("kProbes[kNumProbes][kDim] = {{0LL, 0LL, 0LL, 0LL}}"),
+            std::string::npos);
+}
+
+TEST(GeneratedSource, WriteProgramCreatesFile) {
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  std::string path = testing::TempDir() + "/dpgen_write_test.cpp";
+  write_program(model, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("int main(int argc, char** argv)"),
+            std::string::npos);
+}
+
+// ---- end-to-end: generate -> compile -> run -> compare -------------------
+
+using codegen_test::compile_program;
+using codegen_test::parse_result;
+using codegen_test::run_command;
+
+TEST(EndToEnd, GeneratedBandit2MatchesOracle) {
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_bandit2_gen.cpp";
+  write_program(model, src_path);
+
+  auto prog = compile_program(src_path, "bandit2");
+  ASSERT_TRUE(prog.ok) << "generated program failed to compile:\n"
+                       << prog.log;
+
+  const Int N = 11;
+  double expected = p.reference({N});
+  // Single rank, single thread.
+  {
+    auto [status, out] = run_command(cat(prog.binary, " ", N));
+    ASSERT_EQ(status, 0) << out;
+    EXPECT_NEAR(parse_result(out, p.objective), expected, 1e-12) << out;
+    EXPECT_NE(out.find("STATS tiles="), std::string::npos);
+    // The emitted Ehrhart polynomial: total work of the 4-simplex is
+    // C(N+4, 4) = 1365 at N = 11.
+    EXPECT_NE(out.find("total_work=1365"), std::string::npos) << out;
+  }
+  // Degenerate parameters: an empty iteration space must terminate
+  // cleanly with no results.
+  {
+    auto [status, out] = run_command(cat(prog.binary, " -1"));
+    ASSERT_EQ(status, 0) << out;
+    EXPECT_EQ(out.find("RESULT"), std::string::npos) << out;
+  }
+  // Hybrid: 2 ranks x 2 OpenMP threads.
+  {
+    auto [status, out] =
+        run_command(cat(prog.binary, " ", N, " --ranks=2 --threads=2"));
+    ASSERT_EQ(status, 0) << out;
+    EXPECT_NEAR(parse_result(out, p.objective), expected, 1e-12) << out;
+  }
+  // Level-set priority policy.
+  {
+    auto [status, out] =
+        run_command(cat(prog.binary, " ", N, " --policy=level"));
+    ASSERT_EQ(status, 0) << out;
+    EXPECT_NEAR(parse_result(out, p.objective), expected, 1e-12) << out;
+  }
+}
+
+TEST(EndToEnd, GeneratedLcsMatchesOracle) {
+  std::vector<std::string> seqs{"ABCBDAB", "BDCABA"};
+  problems::Problem p = problems::lcs(seqs, 4);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_lcs_gen.cpp";
+  write_program(model, src_path);
+
+  auto prog = compile_program(src_path, "lcs");
+  ASSERT_TRUE(prog.ok) << "generated program failed to compile:\n"
+                       << prog.log;
+
+  IntVec params = problems::sequence_params(seqs);
+  std::string args;
+  for (Int v : params) args += " " + std::to_string(v);
+  auto [status, out] =
+      run_command(cat(prog.binary, args, " --ranks=2 --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_DOUBLE_EQ(parse_result(out, p.objective), 4.0) << out;
+}
+
+TEST(EndToEnd, GeneratedDelayedBanditMatchesOracle) {
+  // 6-dimensional wedge space (coupled constraints s_i + f_i <= u_i):
+  // exercises multi-check validity flags and non-box pack clipping in
+  // generated code.
+  problems::Problem p = problems::bandit2_delay(3);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_delay_gen.cpp";
+  write_program(model, src_path);
+
+  auto prog = compile_program(src_path, "delay");
+  ASSERT_TRUE(prog.ok) << prog.log;
+
+  const Int N = 6;
+  auto [status, out] =
+      run_command(cat(prog.binary, " ", N, " --ranks=2 --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NEAR(parse_result(out, p.objective), p.reference({N}), 1e-12)
+      << out;
+}
+
+TEST(EndToEnd, GeneratedMsa3WithEmbeddedSequences) {
+  // The sequences live in the generated program's global code; validates
+  // the global-fragment path and the 7-dependency subset recurrence.
+  std::vector<std::string> seqs{problems::random_dna(9, 7),
+                                problems::random_dna(8, 8),
+                                problems::random_dna(10, 9)};
+  problems::Problem p = problems::msa(seqs, 4);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_msa3_gen.cpp";
+  write_program(model, src_path);
+
+  auto prog = compile_program(src_path, "msa3");
+  ASSERT_TRUE(prog.ok) << prog.log;
+
+  IntVec params = problems::sequence_params(seqs);
+  std::string args;
+  for (Int v : params) args += " " + std::to_string(v);
+  auto [status, out] = run_command(cat(prog.binary, args, " --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NEAR(parse_result(out, p.objective), p.reference(params), 1e-12)
+      << out;
+}
+
+TEST(EndToEnd, GeneratedFloatScalarProgram) {
+  // The paper: "the data type of the state array is adjustable in the
+  // generated program".  A float-typed countdown must compile and count.
+  spec::ProblemSpec s;
+  s.name("count_f")
+      .params({"N"})
+      .vars({"x"})
+      .array("acc", "float")
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .dep("r1", {1})
+      .load_balance({"x"})
+      .tile_widths({4})
+      .center_code("acc[loc] = is_valid_r1 ? acc[loc_r1] + 1.0f : 1.0f;");
+  tiling::TilingModel model(std::move(s));
+  std::string src_path = testing::TempDir() + "/dpgen_float_gen.cpp";
+  write_program(model, src_path);
+  std::ifstream in(src_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("using dp_scalar = float;"), std::string::npos);
+
+  auto prog = compile_program(src_path, "floats");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  auto [status, out] = run_command(cat(prog.binary, " 25 --ranks=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_DOUBLE_EQ(parse_result(out, {0}), 26.0) << out;
+}
+
+TEST(EndToEnd, GeneratedNegativeDepProgram) {
+  // Negative template vectors: ascending loops, ghost cells on the low
+  // side, dependency offsets toward smaller tiles.
+  spec::ProblemSpec s;
+  s.name("forward")
+      .params({"N"})
+      .vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .dep("r1", {-2})
+      .load_balance({"x"})
+      .tile_widths({3})
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;");
+  tiling::TilingModel model(std::move(s));
+  std::string src_path = testing::TempDir() + "/dpgen_neg_gen.cpp";
+  codegen::GenOptions gen_opt;
+  gen_opt.probes = {{20}};
+  write_program(model, src_path, gen_opt);
+  auto prog = compile_program(src_path, "neg");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  auto [status, out] = run_command(cat(prog.binary, " 20 --ranks=2"));
+  ASSERT_EQ(status, 0) << out;
+  // f(x) = f(x-2) + 1, f(0)=f(1)=1 -> f(20) = 11.
+  EXPECT_DOUBLE_EQ(parse_result(out, {20}), 11.0) << out;
+}
+
+TEST(EndToEnd, GeneratedSeamCarvingWithMixedLateralDeps) {
+  // Strip-tiled trellis with mixed-sign lateral dependencies and a helper
+  // function in the user's global code.
+  problems::Problem p = problems::seam_carving(6);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_seam_gen.cpp";
+  write_program(model, src_path);
+  auto prog = compile_program(src_path, "seam");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  IntVec params{14, 17};
+  auto [status, out] = run_command(
+      cat(prog.binary, " ", params[0], " ", params[1], " --ranks=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_DOUBLE_EQ(parse_result(out, p.objective), p.reference(params))
+      << out;
+}
+
+TEST(EndToEnd, GeneratedAffineAlignmentLayeredDimension) {
+  // 3-dimensional problem whose third dimension is the Gotoh matrix
+  // index: nine template vectors with mixed z-offsets, phantom-edge
+  // pruning, and per-layer center code in the generated program.
+  std::string a = problems::random_dna(10, 51), b = problems::random_dna(12, 52);
+  problems::Problem p = problems::align_affine(a, b, 1.0, 3.0, 1.0, 5);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_affine_gen.cpp";
+  write_program(model, src_path);
+  auto prog = compile_program(src_path, "affine");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  IntVec params = problems::sequence_params({a, b});
+  auto [status, out] = run_command(cat(prog.binary, " ", params[0], " ",
+                                       params[1], " --ranks=2 --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NEAR(parse_result(out, p.objective), p.reference(params), 1e-12)
+      << out;
+}
+
+TEST(EndToEnd, GeneratedCoinChangeWithLongRangeEdges) {
+  // Denominations larger than the tile width make dependencies cross
+  // several tiles: exercises multi-tile edges in generated pack/unpack.
+  problems::Problem p = problems::coin_change({1, 15, 16}, 4);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_coins_gen.cpp";
+  write_program(model, src_path);
+  auto prog = compile_program(src_path, "coins");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  auto [status, out] = run_command(cat(prog.binary, " 30 --ranks=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_DOUBLE_EQ(parse_result(out, {0}), 2.0) << out;
+}
+
+TEST(EndToEnd, GeneratedSmithWatermanTracksGlobalMax) {
+  // Local alignment: the generated program's objective is the maximum
+  // over every location (GenOptions::track_max -> "MAX (...) = v" line).
+  std::string a = "TTTTCACACTTTT", b = "GGGGCACACGGGG";
+  problems::Problem p = problems::smith_waterman(a, b, 2.0, -1.0, -1.0, 4);
+  tiling::TilingModel model(p.spec);
+  GenOptions gopt;
+  gopt.track_max = true;
+  std::string src_path = testing::TempDir() + "/dpgen_sw_gen.cpp";
+  write_program(model, src_path, gopt);
+  auto prog = compile_program(src_path, "sw");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  IntVec params = problems::sequence_params({a, b});
+  auto [status, out] = run_command(cat(prog.binary, " ", params[0], " ",
+                                       params[1], " --ranks=2 --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  auto pos = out.find("MAX (");
+  ASSERT_NE(pos, std::string::npos) << out;
+  double value = std::strtod(
+      out.c_str() + out.find(" = ", pos) + 3, nullptr);
+  EXPECT_DOUBLE_EQ(value, p.reference(params)) << out;
+}
+
+TEST(EndToEnd, GeneratedFixedSizeProblemWithoutParameters) {
+  // Problems without input parameters are legal (fixed-size spaces); the
+  // generated program takes no positional arguments.
+  spec::ProblemSpec s;
+  s.name("fixed")
+      .vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= 12")
+      .dep("r1", {1})
+      .load_balance({"x"})
+      .tile_widths({4})
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;");
+  tiling::TilingModel model(std::move(s));
+  std::string src_path = testing::TempDir() + "/dpgen_fixed_gen.cpp";
+  write_program(model, src_path);
+  auto prog = compile_program(src_path, "fixed");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  auto [status, out] = run_command(cat(prog.binary, " --ranks=2"));
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_DOUBLE_EQ(parse_result(out, {0}), 13.0) << out;
+}
+
+TEST(EndToEnd, GeneratedProgramRejectsBadUsage) {
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  std::string src_path = testing::TempDir() + "/dpgen_usage_gen.cpp";
+  write_program(model, src_path);
+  auto prog = compile_program(src_path, "usage");
+  ASSERT_TRUE(prog.ok) << prog.log;
+  auto [status, out] = run_command(prog.binary);  // missing N
+  EXPECT_NE(status, 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  auto [status2, out2] = run_command(prog.binary + std::string(" 5 --bogus"));
+  EXPECT_NE(status2, 0);
+}
+
+}  // namespace
+}  // namespace dpgen::codegen

@@ -1,0 +1,61 @@
+// Codegen fuzzing: randomly generated specs pushed through the full
+// generate -> compile (-Werror) -> run pipeline and compared against the
+// independent serial reference at every recorded location.  A small number
+// of seeds (compiles are expensive); the wide behavioural sweep lives in
+// test_fuzz.cpp.
+
+#include <gtest/gtest.h>
+
+#include "codegen/generator.hpp"
+#include "codegen_util.hpp"
+#include "engine/serial.hpp"
+#include "fuzz_util.hpp"
+
+namespace dpgen::codegen {
+namespace {
+
+using codegen_test::compile_program;
+using codegen_test::parse_result;
+using codegen_test::run_command;
+
+class CodegenFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodegenFuzz, GeneratedProgramMatchesSerialReference) {
+  fuzz::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  int ndeps = 0;
+  spec::ProblemSpec s = fuzz::random_spec(rng, &ndeps);
+  SCOPED_TRACE(s.to_text());
+  tiling::TilingModel model(std::move(s));
+
+  const Int N = 6;
+  auto serial =
+      engine::run_serial(model, {N}, fuzz::generic_kernel(ndeps));
+
+  // Probe a handful of locations including the origin.
+  GenOptions opt;
+  opt.probes.push_back(IntVec(static_cast<std::size_t>(model.dim()), 0));
+  int count = 0;
+  for (const auto& [point, value] : serial.values) {
+    if (++count % 7 == 0 && opt.probes.size() < 6)
+      opt.probes.push_back(point);
+  }
+
+  std::string src_path = testing::TempDir() + "/dpgen_fuzz_" +
+                         std::to_string(GetParam()) + ".cpp";
+  write_program(model, src_path, opt);
+  auto prog =
+      compile_program(src_path, "fuzz" + std::to_string(GetParam()));
+  ASSERT_TRUE(prog.ok) << prog.log;
+
+  auto [status, out] =
+      run_command(cat(prog.binary, " ", N, " --ranks=2 --threads=2"));
+  ASSERT_EQ(status, 0) << out;
+  for (const auto& probe : opt.probes)
+    EXPECT_DOUBLE_EQ(parse_result(out, probe), serial.values.at(probe))
+        << vec_to_string(probe) << "\n" << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenFuzz, ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace dpgen::codegen

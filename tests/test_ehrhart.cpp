@@ -1,0 +1,189 @@
+// Unit tests for the Ehrhart quasi-polynomial fitter (Barvinok substitute):
+// rational linear solving, polynomial evaluation/rendering and the
+// interpolation-based fit validated against exact lattice counts.
+
+#include <gtest/gtest.h>
+
+#include "poly/count.hpp"
+#include "poly/ehrhart.hpp"
+#include "poly/parse.hpp"
+#include "poly/system.hpp"
+
+namespace dpgen::poly {
+namespace {
+
+TEST(LinearSolve, Identity) {
+  std::vector<std::vector<Rat>> a{{Rat(1), Rat(0)}, {Rat(0), Rat(1)}};
+  std::vector<Rat> b{Rat(3), Rat(-4)};
+  auto x = solve_linear_system(a, b);
+  EXPECT_EQ(x[0], Rat(3));
+  EXPECT_EQ(x[1], Rat(-4));
+}
+
+TEST(LinearSolve, TwoByTwoExactFractions) {
+  // 2x + y = 1 ; x + 3y = 2  ->  x = 1/5, y = 3/5
+  std::vector<std::vector<Rat>> a{{Rat(2), Rat(1)}, {Rat(1), Rat(3)}};
+  std::vector<Rat> b{Rat(1), Rat(2)};
+  auto x = solve_linear_system(a, b);
+  EXPECT_EQ(x[0], Rat(1, 5));
+  EXPECT_EQ(x[1], Rat(3, 5));
+}
+
+TEST(LinearSolve, NeedsRowSwap) {
+  std::vector<std::vector<Rat>> a{{Rat(0), Rat(1)}, {Rat(1), Rat(0)}};
+  std::vector<Rat> b{Rat(7), Rat(9)};
+  auto x = solve_linear_system(a, b);
+  EXPECT_EQ(x[0], Rat(9));
+  EXPECT_EQ(x[1], Rat(7));
+}
+
+TEST(LinearSolve, SingularThrows) {
+  std::vector<std::vector<Rat>> a{{Rat(1), Rat(2)}, {Rat(2), Rat(4)}};
+  std::vector<Rat> b{Rat(1), Rat(2)};
+  EXPECT_THROW(solve_linear_system(a, b), Error);
+}
+
+TEST(PolynomialOps, EvalAndDegree) {
+  Polynomial p(2);
+  p.add_term({2, 0}, Rat(1, 2));  // x^2/2
+  p.add_term({0, 1}, Rat(3));     // 3y
+  p.add_term({0, 0}, Rat(-1));    // -1
+  EXPECT_EQ(p.eval({4, 2}), Rat(8 + 6 - 1));
+  EXPECT_EQ(p.degree(), 2);
+  Polynomial zero(2);
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_EQ(zero.eval({5, 5}), Rat(0));
+}
+
+TEST(PolynomialOps, TermsMergeAndCancel) {
+  Polynomial p(1);
+  p.add_term({1}, Rat(2));
+  p.add_term({1}, Rat(-2));
+  EXPECT_TRUE(p.terms().empty());
+}
+
+TEST(PolynomialOps, ToCppUsesCommonDenominator) {
+  Polynomial p(1);
+  p.add_term({2}, Rat(1, 2));
+  p.add_term({1}, Rat(1, 2));  // (n^2+n)/2: triangular numbers
+  std::string code = p.to_cpp({"n"});
+  EXPECT_NE(code.find("/ 2LL"), std::string::npos);
+  EXPECT_EQ(Polynomial(1).to_cpp({"n"}), "0LL");
+}
+
+/// Exact count of the d-simplex {x >= 0, sum x <= N} for a given N.
+Int simplex_count(int d, Int n) {
+  Vars v;
+  v.add("N");
+  for (int i = 0; i < d; ++i) v.add("x" + std::to_string(i));
+  System s(v);
+  LinExpr sum(d + 1);
+  std::vector<int> order;
+  for (int i = 0; i < d; ++i) {
+    s.add_ge(LinExpr::term(d + 1, i + 1));
+    sum += LinExpr::term(d + 1, i + 1);
+    order.push_back(i + 1);
+  }
+  LinExpr cap = LinExpr::term(d + 1, 0) - sum;  // N - sum >= 0
+  s.add_ge(cap);
+  LatticeCounter counter(s, order);
+  IntVec seed(static_cast<std::size_t>(d + 1), 0);
+  seed[0] = n;
+  return counter.count(seed);
+}
+
+TEST(EhrhartFit, SimplexIsPolynomial) {
+  // Ehrhart polynomial of the standard d-simplex is C(N+d, d).
+  for (int d = 1; d <= 4; ++d) {
+    FitOptions opt;
+    opt.degree = {d};
+    opt.periods = {1};
+    opt.base = {0};
+    auto qp = fit_quasi_polynomial(
+        [&](const IntVec& args) { return simplex_count(d, args[0]); }, opt);
+    ASSERT_TRUE(qp.has_value()) << "d=" << d;
+    for (Int n : {0, 3, 12, 25})
+      EXPECT_EQ(qp->eval_int({n}), simplex_count(d, n)) << "d=" << d;
+  }
+}
+
+TEST(EhrhartFit, QuasiPolynomialNeedsPeriod) {
+  // count(N) = floor(N/2) + 1 (points 0 <= 2x <= N) is a quasi-polynomial
+  // with period 2: a period-1 fit must fail validation, period 2 succeeds.
+  auto count = [](const IntVec& args) { return args[0] / 2 + 1; };
+
+  FitOptions p1;
+  p1.degree = {1};
+  p1.periods = {1};
+  p1.base = {0};
+  EXPECT_FALSE(fit_quasi_polynomial(count, p1).has_value());
+
+  FitOptions p2 = p1;
+  p2.periods = {2};
+  auto qp = fit_quasi_polynomial(count, p2);
+  ASSERT_TRUE(qp.has_value());
+  for (Int n = 0; n <= 9; ++n) EXPECT_EQ(qp->eval_int({n}), n / 2 + 1);
+}
+
+TEST(EhrhartFit, TwoParameterRectangle) {
+  // count(M, N) = (M+1)(N+1)
+  auto count = [](const IntVec& a) { return (a[0] + 1) * (a[1] + 1); };
+  FitOptions opt;
+  opt.degree = {1, 1};
+  opt.periods = {1, 1};
+  opt.base = {0, 0};
+  auto qp = fit_quasi_polynomial(count, opt);
+  ASSERT_TRUE(qp.has_value());
+  EXPECT_EQ(qp->eval_int({4, 7}), 40);
+  EXPECT_EQ(qp->eval_int({0, 0}), 1);
+}
+
+TEST(EhrhartFit, NonPolynomialRejected) {
+  // 2^N is not polynomial of degree 3: validation must catch it.
+  auto count = [](const IntVec& a) { return Int(1) << a[0]; };
+  FitOptions opt;
+  opt.degree = {3};
+  opt.periods = {1};
+  opt.base = {0};
+  EXPECT_FALSE(fit_quasi_polynomial(count, opt).has_value());
+}
+
+TEST(EhrhartFit, EmittedCppMatchesValues) {
+  // Fit the triangle count C(N+2,2) and check the generated C++ string
+  // contains integer-division structure we can trust.
+  FitOptions opt;
+  opt.degree = {2};
+  opt.periods = {1};
+  opt.base = {0};
+  auto qp = fit_quasi_polynomial(
+      [&](const IntVec& a) { return simplex_count(2, a[0]); }, opt);
+  ASSERT_TRUE(qp.has_value());
+  const Polynomial& p = qp->class_for({0});
+  // (N+1)(N+2)/2 = (N^2 + 3N + 2)/2
+  EXPECT_EQ(p.eval({10}), Rat(66));
+  std::string code = p.to_cpp({"N"});
+  EXPECT_NE(code.find("/ 2LL"), std::string::npos);
+}
+
+TEST(QuasiPolynomialClasses, ResiduesHandleNegatives) {
+  QuasiPolynomial qp({2});
+  Polynomial even(1), odd(1);
+  even.add_term({0}, Rat(100));
+  odd.add_term({0}, Rat(200));
+  qp.set_class({0}, even);
+  qp.set_class({1}, odd);
+  EXPECT_EQ(qp.eval_int({4}), 100);
+  EXPECT_EQ(qp.eval_int({5}), 200);
+  EXPECT_EQ(qp.eval_int({-3}), 200);  // -3 mod 2 == 1
+  EXPECT_EQ(qp.eval_int({-4}), 100);
+}
+
+TEST(QuasiPolynomialClasses, MissingClassThrows) {
+  QuasiPolynomial qp({3});
+  Polynomial p(1);
+  qp.set_class({0}, p);
+  EXPECT_THROW(qp.eval({1}), Error);
+}
+
+}  // namespace
+}  // namespace dpgen::poly

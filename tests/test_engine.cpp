@@ -1,0 +1,316 @@
+// Integration tests for the engine: end-to-end execution of small problems
+// through tiling + runtime + minimpi, swept across tile widths, rank
+// counts, thread counts, priority policies and balance methods, validated
+// against closed-form answers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/engine.hpp"
+#include "problems/problems.hpp"
+
+namespace dpgen::engine {
+namespace {
+
+/// f(x) = f(x+1) + 1 with f(N) = 1: f(0) == N + 1.
+spec::ProblemSpec countdown_spec(Int width) {
+  spec::ProblemSpec s;
+  s.name("countdown")
+      .params({"N"})
+      .vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .dep("r1", {1})
+      .load_balance({"x"})
+      .tile_widths({width})
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;");
+  return s;
+}
+
+CenterFn countdown_kernel() {
+  return [](const Cell& c) {
+    c.V[c.loc] = c.valid[0] ? c.V[c.loc_dep[0]] + 1.0 : 1.0;
+  };
+}
+
+/// Lattice-path counting on the square [0,N]^2: paths(x,y) =
+/// paths(x+1,y) + paths(x,y+1), paths with no valid move = 1.
+/// paths(x,y) = C((N-x)+(N-y), N-x).
+spec::ProblemSpec paths_spec(Int width) {
+  spec::ProblemSpec s;
+  s.name("paths")
+      .params({"N"})
+      .vars({"x", "y"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .constraint("y >= 0")
+      .constraint("y <= N")
+      .dep("r1", {1, 0})
+      .dep("r2", {0, 1})
+      .load_balance({"x", "y"})
+      .tile_widths({width, width})
+      .center_code(R"(
+double dp_v = 0.0; int dp_any = 0;
+if (is_valid_r1) { dp_v += V[loc_r1]; dp_any = 1; }
+if (is_valid_r2) { dp_v += V[loc_r2]; dp_any = 1; }
+V[loc] = dp_any ? dp_v : 1.0;
+)");
+  return s;
+}
+
+CenterFn paths_kernel() {
+  return [](const Cell& c) {
+    double v = 0.0;
+    bool any = false;
+    if (c.valid[0]) {
+      v += c.V[c.loc_dep[0]];
+      any = true;
+    }
+    if (c.valid[1]) {
+      v += c.V[c.loc_dep[1]];
+      any = true;
+    }
+    c.V[c.loc] = any ? v : 1.0;
+  };
+}
+
+double binom(Int n, Int k) {
+  double r = 1.0;
+  for (Int i = 1; i <= k; ++i)
+    r = r * static_cast<double>(n - k + i) / static_cast<double>(i);
+  return r;
+}
+
+TEST(EngineCountdown, SingleRankSingleThread) {
+  for (Int width : {1, 3, 4, 7, 16}) {
+    tiling::TilingModel model(countdown_spec(width));
+    EngineOptions opt;
+    opt.probes = {{0}};
+    auto result = run(model, {10}, countdown_kernel(), opt);
+    EXPECT_DOUBLE_EQ(result.at({0}), 11.0) << "width " << width;
+  }
+}
+
+TEST(EngineCountdown, MultiRankPipelines) {
+  tiling::TilingModel model(countdown_spec(3));
+  for (int ranks : {2, 3, 4}) {
+    EngineOptions opt;
+    opt.ranks = ranks;
+    opt.probes = {{0}};
+    auto result = run(model, {20}, countdown_kernel(), opt);
+    EXPECT_DOUBLE_EQ(result.at({0}), 21.0) << ranks << " ranks";
+    // A 1-D chain across ranks must actually communicate.
+    long long remote = result.total(&runtime::RunStats::remote_edges);
+    EXPECT_GE(remote, ranks - 1);
+  }
+}
+
+class EnginePathsSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EnginePathsSweep, MatchesBinomial) {
+  auto [width, ranks, threads] = GetParam();
+  tiling::TilingModel model(paths_spec(width));
+  EngineOptions opt;
+  opt.ranks = ranks;
+  opt.threads = threads;
+  opt.probes = {{0, 0}};
+  const Int N = 12;
+  auto result = run(model, {N}, paths_kernel(), opt);
+  EXPECT_DOUBLE_EQ(result.at({0, 0}), binom(2 * N, N));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthRanksThreads, EnginePathsSweep,
+    ::testing::Combine(::testing::Values(1, 3, 5, 8),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 3)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(EnginePaths, RecordAllMatchesClosedFormEverywhere) {
+  tiling::TilingModel model(paths_spec(4));
+  EngineOptions opt;
+  opt.record_all = true;
+  opt.ranks = 2;
+  const Int N = 7;
+  auto result = run(model, {N}, paths_kernel(), opt);
+  EXPECT_EQ(result.values.size(), static_cast<std::size_t>((N + 1) * (N + 1)));
+  for (Int x = 0; x <= N; ++x)
+    for (Int y = 0; y <= N; ++y)
+      EXPECT_DOUBLE_EQ(result.at({x, y}), binom(2 * N - x - y, N - x))
+          << "(" << x << "," << y << ")";
+}
+
+TEST(EnginePaths, BothPoliciesAndBalancersAgree) {
+  tiling::TilingModel model(paths_spec(3));
+  const Int N = 9;
+  for (auto policy : {runtime::PriorityPolicy::kColumnMajor,
+                      runtime::PriorityPolicy::kLevelSet}) {
+    for (auto method : {tiling::BalanceMethod::kPerDimension,
+                        tiling::BalanceMethod::kHyperplane}) {
+      EngineOptions opt;
+      opt.ranks = 3;
+      opt.threads = 2;
+      opt.policy = policy;
+      opt.balance = method;
+      opt.probes = {{0, 0}};
+      auto result = run(model, {N}, paths_kernel(), opt);
+      EXPECT_DOUBLE_EQ(result.at({0, 0}), binom(2 * N, N));
+    }
+  }
+}
+
+TEST(EnginePaths, PoisonedBuffersStayOutOfResults) {
+  // With NaN-poisoned buffers, any read of a ghost cell that was never
+  // unpacked (or of an invalid dependency) would contaminate the result.
+  tiling::TilingModel model(paths_spec(4));
+  EngineOptions opt;
+  opt.poison_buffers = true;
+  opt.ranks = 2;
+  opt.record_all = true;
+  auto result = run(model, {8}, paths_kernel(), opt);
+  for (const auto& [point, value] : result.values)
+    EXPECT_FALSE(std::isnan(value)) << vec_to_string(point);
+}
+
+TEST(EnginePaths, BoundedMailboxesStillComplete) {
+  tiling::TilingModel model(paths_spec(2));
+  EngineOptions opt;
+  opt.ranks = 4;
+  opt.threads = 2;
+  opt.mailbox_capacity = 1;  // smallest legal buffer budget
+  opt.probes = {{0, 0}};
+  auto result = run(model, {11}, paths_kernel(), opt);
+  EXPECT_DOUBLE_EQ(result.at({0, 0}), binom(22, 11));
+}
+
+TEST(EngineStats, TileAndEdgeAccounting) {
+  tiling::TilingModel model(paths_spec(3));
+  IntVec params{10};
+  EngineOptions opt;
+  opt.ranks = 2;
+  opt.probes = {{0, 0}};
+  auto result = run(model, params, paths_kernel(), opt);
+  EXPECT_EQ(result.total(&runtime::RunStats::tiles_executed),
+            model.total_tiles(params));
+  // Exactly one dependency-free tile on the square: the (max, max) corner.
+  EXPECT_EQ(result.total(&runtime::RunStats::initial_tiles), 1);
+  EXPECT_GT(result.total(&runtime::RunStats::remote_edges), 0);
+  for (const auto& s : result.rank_stats) {
+    EXPECT_GE(s.init_scan_seconds, 0.0);
+    EXPECT_GT(s.total_seconds, 0.0);
+  }
+}
+
+TEST(EngineResultApi, MissingProbeThrows) {
+  tiling::TilingModel model(countdown_spec(4));
+  EngineOptions opt;
+  opt.probes = {{0}};
+  auto result = run(model, {5}, countdown_kernel(), opt);
+  EXPECT_THROW(result.at({3}), Error);
+}
+
+TEST(EngineEqualitySpaces, DiagonalChain) {
+  // Iteration space restricted to the diagonal x == y; the tile grid
+  // contains off-diagonal tiles only as rational artifacts, and most
+  // diagonal-band tiles are clipped.  f(x,y) = f(x+1,y+1) + 1.
+  spec::ProblemSpec s;
+  s.name("diag")
+      .params({"N"})
+      .vars({"x", "y"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .constraint("x == y")
+      .dep("r1", {1, 1})
+      .load_balance({"x"})
+      .tile_widths({3, 4})  // deliberately mismatched widths
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;");
+  tiling::TilingModel model(std::move(s));
+  const Int N = 17;
+  EXPECT_EQ(model.total_cells({N}), N + 1);
+  EngineOptions opt;
+  opt.ranks = 2;
+  opt.probes = {{0, 0}};
+  auto result = run(model, {N},
+                    [](const Cell& c) {
+                      c.V[c.loc] = c.valid[0] ? c.V[c.loc_dep[0]] + 1.0 : 1.0;
+                    },
+                    opt);
+  EXPECT_DOUBLE_EQ(result.at({0, 0}), static_cast<double>(N + 1));
+}
+
+TEST(EngineEqualitySpaces, StridedLattice) {
+  // x == 2y: only even x participate.  f(x,y) = f(x+2,y+1) + 1, so
+  // f(0,0) counts the lattice points: floor(N/2) + 1.
+  spec::ProblemSpec s;
+  s.name("stride")
+      .params({"N"})
+      .vars({"x", "y"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .constraint("x == 2*y")
+      .dep("r1", {2, 1})
+      .load_balance({"x"})
+      .tile_widths({4, 4})
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;");
+  tiling::TilingModel model(std::move(s));
+  const Int N = 21;
+  EXPECT_EQ(model.total_cells({N}), N / 2 + 1);
+  EngineOptions opt;
+  opt.probes = {{0, 0}};
+  opt.poison_buffers = true;
+  auto result = run(model, {N},
+                    [](const Cell& c) {
+                      c.V[c.loc] = c.valid[0] ? c.V[c.loc_dep[0]] + 1.0 : 1.0;
+                    },
+                    opt);
+  EXPECT_DOUBLE_EQ(result.at({0, 0}), static_cast<double>(N / 2 + 1));
+}
+
+// ---- failure injection: a broken dependency count must stall-fail, not
+// hang forever -----------------------------------------------------------
+
+class BrokenDepCountHooks final : public runtime::ProblemHooks<double> {
+ public:
+  int dim() const override { return 1; }
+  Int buffer_size() const override { return 2; }
+  int num_edges() const override { return 1; }
+  const IntVec& edge_offset(int) const override { return offset_; }
+  bool tile_exists(const IntVec& t) const override {
+    return t[0] >= 0 && t[0] <= 1;
+  }
+  int dep_count(const IntVec&) const override { return 5; }  // wrong: is 1
+  void initial_tiles(std::vector<IntVec>& out) const override {
+    out.push_back({1});
+  }
+  int owner(const IntVec&) const override { return 0; }
+  Int owned_tiles(int) const override { return 2; }
+  void execute_tile(const IntVec&, double*) override {}
+  Int pack(int, const IntVec&, const double*, std::vector<double>& out)
+      const override {
+    out.clear();
+    return 0;
+  }
+  void unpack(int, const IntVec&, const double*, Int, double*) const override {
+  }
+
+ private:
+  IntVec offset_{1};
+};
+
+TEST(EngineFailureInjection, StallTimeoutFires) {
+  minimpi::World world(1);
+  BrokenDepCountHooks hooks;
+  runtime::RunOptions opt;
+  opt.order = runtime::TileOrder({0}, {1}, runtime::PriorityPolicy::kColumnMajor);
+  opt.stall_timeout_seconds = 0.2;
+  EXPECT_THROW(runtime::run_node<double>(hooks, world.comm(0), opt), Error);
+}
+
+}  // namespace
+}  // namespace dpgen::engine

@@ -1,0 +1,385 @@
+// Unit tests for the minimpi message-passing substrate: point-to-point
+// semantics, bounded mailboxes, collectives and error propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "minimpi/world.hpp"
+
+namespace dpgen::minimpi {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(MiniMpi, PointToPointDelivery) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto payload = bytes({1, 2, 3});
+      comm.send(1, 7, payload.data(), payload.size());
+    } else {
+      Message m = comm.recv();
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      EXPECT_EQ(m.payload, bytes({1, 2, 3}));
+    }
+  });
+}
+
+TEST(MiniMpi, FifoPerSender) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        std::uint8_t b = static_cast<std::uint8_t>(i);
+        comm.send(1, i, &b, 1);
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        Message m = comm.recv();
+        EXPECT_EQ(m.tag, i);
+        EXPECT_EQ(m.payload[0], static_cast<std::uint8_t>(i));
+      }
+    }
+  });
+}
+
+TEST(MiniMpi, TryRecvAndIprobe) {
+  World world(1);
+  Comm& comm = world.comm(0);
+  EXPECT_FALSE(comm.iprobe());
+  EXPECT_FALSE(comm.try_recv().has_value());
+  std::uint8_t b = 42;
+  comm.send(0, 5, &b, 1);  // self-send
+  int src = -1, tag = -1;
+  EXPECT_TRUE(comm.iprobe(&src, &tag));
+  EXPECT_EQ(src, 0);
+  EXPECT_EQ(tag, 5);
+  auto m = comm.try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 42);
+  EXPECT_FALSE(comm.iprobe());
+}
+
+TEST(MiniMpi, EmptyPayloadAllowed) {
+  World world(1);
+  Comm& comm = world.comm(0);
+  comm.send(0, 1, nullptr, 0);
+  auto m = comm.try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->payload.empty());
+}
+
+TEST(MiniMpi, TrySendRespectsCapacity) {
+  World world(2, /*mailbox_capacity=*/2);
+  Comm& comm = world.comm(0);
+  std::uint8_t b = 0;
+  EXPECT_TRUE(comm.try_send(1, 0, &b, 1));
+  EXPECT_TRUE(comm.try_send(1, 0, &b, 1));
+  EXPECT_FALSE(comm.try_send(1, 0, &b, 1));  // full
+  EXPECT_EQ(comm.blocked_sends(), 1u);
+  ASSERT_TRUE(world.comm(1).try_recv().has_value());
+  EXPECT_TRUE(comm.try_send(1, 0, &b, 1));  // space again
+}
+
+TEST(MiniMpi, BlockingSendWaitsForSpace) {
+  World world(2, /*mailbox_capacity=*/1);
+  std::atomic<bool> second_send_done{false};
+  std::thread sender([&] {
+    Comm& c = world.comm(0);
+    std::uint8_t b = 1;
+    c.send(1, 0, &b, 1);
+    b = 2;
+    c.send(1, 0, &b, 1);  // must block until the receiver drains
+    second_send_done = true;
+  });
+  // Give the sender time to block on the second send.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_send_done.load());
+  auto m1 = world.comm(1).recv();
+  EXPECT_EQ(m1.payload[0], 1);
+  auto m2 = world.comm(1).recv();
+  EXPECT_EQ(m2.payload[0], 2);
+  sender.join();
+  EXPECT_TRUE(second_send_done.load());
+}
+
+TEST(MiniMpi, SendToInvalidRankThrows) {
+  World world(2);
+  std::uint8_t b = 0;
+  EXPECT_THROW(world.comm(0).send(5, 0, &b, 1), Error);
+  EXPECT_THROW(world.comm(0).try_send(-1, 0, &b, 1), Error);
+}
+
+TEST(MiniMpi, BarrierSynchronizesRanks) {
+  const int kRanks = 4;
+  World world(kRanks);
+  std::atomic<int> before{0}, after{0};
+  world.run([&](Comm& comm) {
+    ++before;
+    comm.barrier();
+    // After the barrier every rank must have incremented `before`.
+    EXPECT_EQ(before.load(), kRanks);
+    ++after;
+    comm.barrier();
+    EXPECT_EQ(after.load(), kRanks);
+  });
+}
+
+TEST(MiniMpi, RepeatedBarriers) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    for (int i = 0; i < 100; ++i) comm.barrier();
+  });
+}
+
+TEST(MiniMpi, AllreduceSumInt) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    Int total = comm.allreduce_sum(Int{comm.rank() + 1});
+    EXPECT_EQ(total, 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(MiniMpi, AllreduceSumDoubleAndMax) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    double s = comm.allreduce_sum(0.5 * (comm.rank() + 1));
+    EXPECT_DOUBLE_EQ(s, 0.5 + 1.0 + 1.5);
+    double mx = comm.allreduce_max(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(mx, 2.0);
+  });
+}
+
+TEST(MiniMpi, ConsecutiveAllreducesKeepResultsSeparate) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    for (Int i = 0; i < 50; ++i)
+      EXPECT_EQ(comm.allreduce_sum(i), 2 * i);
+  });
+}
+
+TEST(MiniMpi, StatsCountMessagesAndBytes) {
+  World world(2);
+  Comm& c = world.comm(0);
+  std::vector<std::uint8_t> payload(10, 0);
+  c.send(1, 0, payload.data(), payload.size());
+  c.send(1, 0, payload.data(), 4);
+  EXPECT_EQ(c.messages_sent(), 2u);
+  EXPECT_EQ(c.bytes_sent(), 14u);
+}
+
+TEST(MiniMpi, RunPropagatesExceptions) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    comm.barrier();
+    if (comm.rank() == 1) raise("boom on rank 1");
+  }),
+               Error);
+}
+
+TEST(MiniMpi, ManyToOneStress) {
+  const int kRanks = 5, kPerRank = 200;
+  World world(kRanks);
+  std::atomic<long long> sum{0};
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < (kRanks - 1) * kPerRank; ++i) {
+        Message m = comm.recv();
+        sum += m.payload[0];
+      }
+    } else {
+      for (int i = 0; i < kPerRank; ++i) {
+        std::uint8_t b = static_cast<std::uint8_t>(comm.rank());
+        comm.send(0, i, &b, 1);
+      }
+    }
+  });
+  EXPECT_EQ(sum.load(), kPerRank * (1 + 2 + 3 + 4));
+}
+
+TEST(MiniMpi, WorldNeedsAtLeastOneRank) {
+  EXPECT_THROW(World(0), Error);
+}
+
+TEST(MiniMpiRequests, IsendCompletesImmediatelyWhenUnbounded) {
+  World world(2);
+  std::uint8_t b = 9;
+  Request r = world.comm(0).isend(1, 3, &b, 1);
+  EXPECT_TRUE(r.done());
+  auto m = world.comm(1).try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 9);
+}
+
+TEST(MiniMpiRequests, IsendDefersUntilSpace) {
+  World world(2, /*mailbox_capacity=*/1);
+  Comm& c = world.comm(0);
+  std::uint8_t b = 1;
+  c.send(1, 0, &b, 1);  // fills the mailbox
+  b = 2;
+  Request r = c.isend(1, 0, &b, 1);
+  EXPECT_FALSE(r.done());
+  EXPECT_FALSE(r.test());  // still full
+  (void)world.comm(1).try_recv();
+  EXPECT_TRUE(r.test());  // delivered now
+  auto m = world.comm(1).try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 2);
+}
+
+TEST(MiniMpiRequests, IrecvMatchesSourceAndTag) {
+  World world(3);
+  Comm& c = world.comm(2);
+  std::uint8_t b = 1;
+  world.comm(0).send(2, 5, &b, 1);
+  b = 2;
+  world.comm(1).send(2, 7, &b, 1);
+
+  // Match on tag only: picks the tag-7 message even though it arrived
+  // second.
+  Request r = c.irecv(/*source=*/-1, /*tag=*/7);
+  ASSERT_TRUE(r.done());
+  EXPECT_EQ(r.message().source, 1);
+  EXPECT_EQ(r.message().payload[0], 2);
+
+  // Match on source.
+  Request r2 = c.irecv(/*source=*/0);
+  ASSERT_TRUE(r2.done());
+  EXPECT_EQ(r2.message().tag, 5);
+
+  // Nothing left.
+  Request r3 = c.irecv();
+  EXPECT_FALSE(r3.done());
+}
+
+TEST(MiniMpiRequests, WaitBlocksUntilArrival) {
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request r = comm.irecv(1, 42);
+      r.wait();
+      EXPECT_EQ(r.message().payload[0], 77);
+      EXPECT_TRUE(r.test());  // idempotent after completion
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::uint8_t b = 77;
+      comm.send(0, 42, &b, 1);
+    }
+  });
+}
+
+TEST(MiniMpiCollectives, BroadcastDeliversRootPayload) {
+  World world(4);
+  world.run([&](Comm& comm) {
+    long long value = comm.rank() == 2 ? 424242 : -1;
+    comm.broadcast(2, &value, sizeof value);
+    EXPECT_EQ(value, 424242);
+    // Repeated broadcasts from different roots stay matched.
+    double d = comm.rank() == 0 ? 2.5 : 0.0;
+    comm.broadcast(0, &d, sizeof d);
+    EXPECT_DOUBLE_EQ(d, 2.5);
+  });
+}
+
+TEST(MiniMpiCollectives, GatherConcatenatesInRankOrder) {
+  World world(3);
+  world.run([&](Comm& comm) {
+    std::uint8_t mine[2] = {static_cast<std::uint8_t>(comm.rank()),
+                            static_cast<std::uint8_t>(comm.rank() * 10)};
+    std::vector<std::uint8_t> all;
+    comm.gather(1, mine, sizeof mine, comm.rank() == 1 ? &all : nullptr);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(all.size(), 6u);
+      EXPECT_EQ(all, (std::vector<std::uint8_t>{0, 0, 1, 10, 2, 20}));
+    }
+  });
+}
+
+TEST(MiniMpiCollectives, InvalidRootRejected) {
+  World world(2);
+  long long v = 0;
+  EXPECT_THROW(world.comm(0).broadcast(5, &v, sizeof v), Error);
+  EXPECT_THROW(world.comm(0).gather(-1, &v, sizeof v, nullptr), Error);
+}
+
+TEST(MiniMpiRequests, MisuseIsRejected) {
+  World world(2);
+  Request empty;
+  EXPECT_THROW(empty.test(), Error);
+  Request send = world.comm(0).isend(1, 0, nullptr, 0);
+  EXPECT_THROW(send.message(), Error);  // message() is recv-only
+  EXPECT_THROW(world.comm(0).isend(9, 0, nullptr, 0), Error);
+}
+
+TEST(MiniMpi, MultipleWorkerThreadsShareOneComm) {
+  // The runtime's usage pattern: several worker threads of one rank send
+  // and poll concurrently through the same Comm.
+  static constexpr int kWorkers = 4, kPerWorker = 100;
+  World world(2);
+  std::atomic<int> received{0};
+  world.run([&](Comm& comm) {
+    std::vector<std::thread> workers;
+    if (comm.rank() == 0) {
+      for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&comm, w] {
+          for (int i = 0; i < kPerWorker; ++i) {
+            std::uint8_t b = static_cast<std::uint8_t>(w);
+            comm.send(1, w * 1000 + i, &b, 1);
+          }
+        });
+      }
+    } else {
+      for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&comm, &received] {
+          while (received.load() < kWorkers * kPerWorker) {
+            if (comm.try_recv())
+              ++received;
+            else
+              std::this_thread::yield();
+          }
+        });
+      }
+    }
+    for (auto& t : workers) t.join();
+    comm.barrier();
+  });
+  EXPECT_EQ(received.load(), kWorkers * kPerWorker);
+  EXPECT_EQ(world.comm(0).messages_sent(),
+            static_cast<std::uint64_t>(kWorkers * kPerWorker));
+}
+
+TEST(MiniMpi, BoundedMailboxUnderConcurrentLoad) {
+  // Bounded buffers with concurrent senders and a draining receiver:
+  // everything must arrive, and blocked sends must be recorded.
+  World world(2, /*mailbox_capacity=*/2);
+  std::atomic<long long> sum{0};
+  const int kMessages = 300;
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::thread> senders;
+      for (int w = 0; w < 3; ++w) {
+        senders.emplace_back([&comm] {
+          for (int i = 0; i < kMessages / 3; ++i) {
+            std::uint8_t b = 1;
+            comm.send(1, 0, &b, 1);
+          }
+        });
+      }
+      for (auto& t : senders) t.join();
+    } else {
+      for (int i = 0; i < kMessages; ++i) sum += comm.recv().payload[0];
+    }
+  });
+  EXPECT_EQ(sum.load(), kMessages);
+}
+
+}  // namespace
+}  // namespace dpgen::minimpi

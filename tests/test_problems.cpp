@@ -1,0 +1,382 @@
+// Oracle tests: every packaged problem, executed through the full hybrid
+// engine, must match its independent serial reference solver, across rank
+// and thread counts.
+
+#include <gtest/gtest.h>
+
+#include "problems/problems.hpp"
+
+namespace dpgen::problems {
+namespace {
+
+double run_engine(const Problem& p, const IntVec& params, int ranks = 1,
+                  int threads = 1) {
+  tiling::TilingModel model(p.spec);
+  engine::EngineOptions opt;
+  opt.ranks = ranks;
+  opt.threads = threads;
+  opt.probes = {p.objective};
+  auto result = engine::run(model, params, p.kernel, opt);
+  return result.at(p.objective);
+}
+
+TEST(Bandit2, MatchesReferenceAcrossN) {
+  Problem p = bandit2(4);
+  for (Int n : {0, 1, 2, 5, 9, 14}) {
+    double expected = p.reference({n});
+    EXPECT_NEAR(run_engine(p, {n}), expected, 1e-12) << "N=" << n;
+  }
+}
+
+TEST(Bandit2, TrivialCasesHaveKnownValues) {
+  Problem p = bandit2(4);
+  // N=0: no pulls, no successes.
+  EXPECT_DOUBLE_EQ(p.reference({0}), 0.0);
+  // N=1: one pull of an arm with uniform prior: expected successes 1/2.
+  EXPECT_DOUBLE_EQ(p.reference({1}), 0.5);
+  EXPECT_NEAR(run_engine(p, {1}), 0.5, 1e-15);
+}
+
+TEST(Bandit2, ValueGrowsSublinearlyButAboveHalfN) {
+  // With learning, the optimal policy beats the myopic 0.5 per pull.
+  Problem p = bandit2(4);
+  double v10 = p.reference({10});
+  EXPECT_GT(v10, 5.0);
+  EXPECT_LT(v10, 10.0);
+}
+
+TEST(Bandit2, HybridRunsMatchReference) {
+  Problem p = bandit2(3);
+  double expected = p.reference({12});
+  for (int ranks : {1, 2, 3})
+    for (int threads : {1, 2})
+      EXPECT_NEAR(run_engine(p, {12}, ranks, threads), expected, 1e-12)
+          << ranks << " ranks, " << threads << " threads";
+}
+
+TEST(Bandit3, MatchesReference) {
+  Problem p = bandit3(3);
+  for (Int n : {0, 1, 4, 7}) {
+    double expected = p.reference({n});
+    EXPECT_NEAR(run_engine(p, {n}), expected, 1e-12) << "N=" << n;
+  }
+  EXPECT_NEAR(run_engine(p, {7}, 2, 2), p.reference({7}), 1e-12);
+}
+
+TEST(Bandit3, ThreeArmsBeatTwoArms) {
+  // More arms to learn about can only help an optimal learner.
+  double v2 = bandit2().reference({8});
+  double v3 = bandit3().reference({8});
+  EXPECT_GE(v3, v2 - 1e-12);
+}
+
+TEST(Bandit2Delay, MatchesReference) {
+  Problem p = bandit2_delay(3);
+  for (Int n : {0, 1, 3, 6}) {
+    double expected = p.reference({n});
+    EXPECT_NEAR(run_engine(p, {n}), expected, 1e-12) << "N=" << n;
+  }
+  EXPECT_NEAR(run_engine(p, {6}, 2, 2), p.reference({6}), 1e-12);
+}
+
+TEST(Bandit2Delay, DelayNeverHelps) {
+  // Observing results immediately (bandit2) dominates deciding with
+  // delayed feedback under the same horizon.
+  double delayed = bandit2_delay().reference({8});
+  double immediate = bandit2().reference({8});
+  EXPECT_LE(delayed, immediate + 1e-12);
+}
+
+TEST(Msa2, IdenticalSequencesAlignFree) {
+  Problem p = msa({"ACGTACGT", "ACGTACGT"}, 4);
+  IntVec params = sequence_params({"ACGTACGT", "ACGTACGT"});
+  EXPECT_DOUBLE_EQ(p.reference(params), 0.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, params), 0.0);
+}
+
+TEST(Msa2, EmptyAgainstNonEmptyCostsAllGaps) {
+  std::vector<std::string> seqs{"", "ACG"};
+  Problem p = msa(seqs, 4, 1.0, 2.0);
+  IntVec params = sequence_params(seqs);
+  EXPECT_DOUBLE_EQ(p.reference(params), 6.0);  // 3 gaps at cost 2
+  EXPECT_DOUBLE_EQ(run_engine(p, params), 6.0);
+}
+
+TEST(Msa2, EditDistanceKitten) {
+  // With unit mismatch and gap costs, 2-sequence MSA is edit distance:
+  // kitten -> sitting is the classic 3.
+  Problem p = edit_distance("kitten", "sitting", 4);
+  IntVec params = sequence_params({"kitten", "sitting"});
+  EXPECT_DOUBLE_EQ(p.reference(params), 3.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, params), 3.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, params, 2, 2), 3.0);
+}
+
+TEST(Msa3, MatchesReferenceOnRandomDna) {
+  std::vector<std::string> seqs{random_dna(10, 1), random_dna(12, 2),
+                                random_dna(9, 3)};
+  Problem p = msa(seqs, 4);
+  IntVec params = sequence_params(seqs);
+  double expected = p.reference(params);
+  EXPECT_GT(expected, 0.0);
+  for (int ranks : {1, 2})
+    EXPECT_NEAR(run_engine(p, params, ranks, 2), expected, 1e-12);
+}
+
+TEST(Msa4, FourSequencesSupported) {
+  std::vector<std::string> seqs{random_dna(6, 4), random_dna(7, 5),
+                                random_dna(5, 6), random_dna(6, 7)};
+  Problem p = msa(seqs, 3);
+  IntVec params = sequence_params(seqs);
+  EXPECT_NEAR(run_engine(p, params), p.reference(params), 1e-12);
+}
+
+TEST(Msa, RejectsWrongSequenceCounts) {
+  EXPECT_THROW(msa({"A"}), Error);
+  EXPECT_THROW(msa({"A", "B", "C", "D", "E"}), Error);
+}
+
+TEST(Lcs2, ClassicExample) {
+  std::vector<std::string> seqs{"ABCBDAB", "BDCABA"};
+  Problem p = lcs(seqs, 4);
+  IntVec params = sequence_params(seqs);
+  EXPECT_DOUBLE_EQ(p.reference(params), 4.0);  // e.g. BCAB
+  EXPECT_DOUBLE_EQ(run_engine(p, params), 4.0);
+}
+
+TEST(Lcs3, MatchesReferenceAndIsAtMostPairwise) {
+  std::vector<std::string> seqs{random_dna(12, 10), random_dna(11, 11),
+                                random_dna(13, 12)};
+  Problem p3 = lcs(seqs, 4);
+  IntVec params3 = sequence_params(seqs);
+  double l3 = p3.reference(params3);
+  EXPECT_NEAR(run_engine(p3, params3, 2, 1), l3, 1e-12);
+  // LCS of three strings cannot exceed the LCS of any pair.
+  Problem p2 = lcs({seqs[0], seqs[1]}, 8);
+  double l2 = p2.reference(sequence_params({seqs[0], seqs[1]}));
+  EXPECT_LE(l3, l2 + 1e-12);
+}
+
+TEST(Lcs2, EmptyStringGivesZero) {
+  std::vector<std::string> seqs{"", "ACGT"};
+  Problem p = lcs(seqs, 4);
+  EXPECT_DOUBLE_EQ(run_engine(p, sequence_params(seqs)), 0.0);
+}
+
+TEST(SeamCarving, MatchesReferenceOnTrellis) {
+  Problem p = seam_carving(8);
+  for (IntVec params : {IntVec{6, 9}, IntVec{15, 4}, IntVec{20, 20}}) {
+    double expected = p.reference(params);
+    EXPECT_DOUBLE_EQ(run_engine(p, params), expected)
+        << vec_to_string(params);
+  }
+  EXPECT_DOUBLE_EQ(run_engine(p, {20, 20}, 2, 2), p.reference({20, 20}));
+}
+
+TEST(SeamCarving, MixedLateralSignsValidateWithStripTiles) {
+  Problem p = seam_carving(8);
+  EXPECT_EQ(p.spec.dep_signs()[0], 1);   // pipelined dimension
+  // The lateral dimension's direction is fixed by the tile offsets of the
+  // (1,-1)/(1,+1) deps only when strips are not used; with width-1 strips
+  // every tile offset leads with the t component.
+  EXPECT_EQ(p.spec.widths()[0], 1);
+}
+
+TEST(SeamCarving, WideTimeTilesRejected) {
+  // With t tile width >= 2 the lateral deps produce same-row tile offsets
+  // in both directions -> cyclic tile dependencies -> must be rejected.
+  spec::ProblemSpec s;
+  s.name("bad_seam")
+      .params({"T", "S"})
+      .vars({"t", "s"})
+      .constraint("t >= 0")
+      .constraint("t <= T")
+      .constraint("s >= 0")
+      .constraint("s <= S")
+      .dep("dl", {1, -1})
+      .dep("dr", {1, 1})
+      .tile_widths({4, 4})
+      .center_code("V[loc] = 0.0;");
+  s.validate();  // cell-level scan directions are fine...
+  // ...but the tile graph is cyclic: same-row tiles wait on each other.
+  EXPECT_THROW(tiling::TilingModel{std::move(s)}, Error);
+}
+
+TEST(SeamCarving, SeamCostIsMonotoneInFieldSize) {
+  // Adding rows can only increase the accumulated energy of the best
+  // seam (energies are nonnegative).
+  Problem p = seam_carving(8);
+  EXPECT_LE(p.reference({5, 10}), p.reference({9, 10}));
+}
+
+TEST(AffineAlignment, GapOpenVsExtendIsHonoured) {
+  // One long gap must beat two short ones when opening is expensive:
+  // a = "AAAA", b = "AABAA" needs one insertion; a = "ACA", b = "ABCBA"
+  // needs two separate insertions.
+  Problem one_gap = align_affine("AAAA", "AABAA", 1.0, 3.0, 1.0, 4);
+  IntVec p1 = sequence_params({"AAAA", "AABAA"});
+  EXPECT_DOUBLE_EQ(one_gap.reference(p1), 3.0);  // single open
+  EXPECT_DOUBLE_EQ(run_engine(one_gap, p1), 3.0);
+
+  // A contiguous 2-gap costs open+extend (4), two scattered 1-gaps cost
+  // 2*open (6).
+  Problem two_gap = align_affine("AAAA", "AABBAA", 1.0, 3.0, 1.0, 4);
+  IntVec p2 = sequence_params({"AAAA", "AABBAA"});
+  EXPECT_DOUBLE_EQ(two_gap.reference(p2), 4.0);
+  EXPECT_DOUBLE_EQ(run_engine(two_gap, p2), 4.0);
+}
+
+TEST(AffineAlignment, MatchesGotohOracleOnRandomDna) {
+  std::string a = random_dna(14, 31), b = random_dna(17, 32);
+  Problem p = align_affine(a, b, 1.0, 2.5, 0.5, 6);
+  IntVec params = sequence_params({a, b});
+  double expected = p.reference(params);
+  EXPECT_NEAR(run_engine(p, params), expected, 1e-12);
+  EXPECT_NEAR(run_engine(p, params, 2, 2), expected, 1e-12);
+}
+
+TEST(AffineAlignment, ReducesToLinearGapsWhenOpenEqualsExtend) {
+  // With gap_open == gap_extend the affine model must equal the linear
+  // 2-sequence MSA cost.
+  std::string a = random_dna(10, 41), b = random_dna(12, 42);
+  Problem affine = align_affine(a, b, 1.0, 2.0, 2.0, 4);
+  Problem linear = msa({a, b}, 4, 1.0, 2.0);
+  IntVec params = sequence_params({a, b});
+  EXPECT_DOUBLE_EQ(affine.reference(params), linear.reference(params));
+  EXPECT_DOUBLE_EQ(run_engine(affine, params),
+                   run_engine(linear, params));
+}
+
+TEST(AffineAlignment, IdenticalStringsAlignFree) {
+  Problem p = align_affine("ACGTACGT", "ACGTACGT");
+  IntVec params = sequence_params({"ACGTACGT", "ACGTACGT"});
+  EXPECT_DOUBLE_EQ(p.reference(params), 0.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, params), 0.0);
+}
+
+TEST(AffineAlignment, RejectsExtendAboveOpen) {
+  EXPECT_THROW(align_affine("A", "A", 1.0, 1.0, 2.0), Error);
+}
+
+double run_sw(const Problem& p, const IntVec& params, int ranks = 1,
+              int threads = 1) {
+  tiling::TilingModel model(p.spec);
+  engine::EngineOptions opt;
+  opt.ranks = ranks;
+  opt.threads = threads;
+  opt.track_max = true;
+  return engine::run(model, params, p.kernel, opt).max_value;
+}
+
+TEST(SmithWaterman, IdenticalStringsScorePerfectly) {
+  Problem p = smith_waterman("ACGTACGT", "ACGTACGT", 2.0, -1.0, -1.0, 4);
+  IntVec params = sequence_params({"ACGTACGT", "ACGTACGT"});
+  EXPECT_DOUBLE_EQ(p.reference(params), 16.0);  // 8 matches x 2
+  EXPECT_DOUBLE_EQ(run_sw(p, params), 16.0);
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresBadFlanks) {
+  // The shared core "CACAC" aligns locally; the mismatched flanks must
+  // not drag the score below the core's value.
+  Problem p = smith_waterman("TTTTCACACTTTT", "GGGGCACACGGGG", 2.0, -1.0,
+                             -1.0, 4);
+  IntVec params = sequence_params({"TTTTCACACTTTT", "GGGGCACACGGGG"});
+  EXPECT_DOUBLE_EQ(p.reference(params), 10.0);  // 5 matches x 2
+  EXPECT_DOUBLE_EQ(run_sw(p, params, 2, 2), 10.0);
+}
+
+TEST(SmithWaterman, MatchesOracleOnRandomDna) {
+  std::string a = random_dna(30, 61), b = random_dna(26, 62);
+  Problem p = smith_waterman(a, b, 2.0, -1.0, -1.0, 6);
+  IntVec params = sequence_params({a, b});
+  double expected = p.reference(params);
+  EXPECT_GT(expected, 0.0);
+  for (int ranks : {1, 3})
+    EXPECT_DOUBLE_EQ(run_sw(p, params, ranks, 2), expected)
+        << ranks << " ranks";
+}
+
+TEST(SmithWaterman, TrackMaxReportsLexSmallestArgmax) {
+  // Two disjoint equal-scoring cores; the engine must report the
+  // lexicographically smallest argmax deterministically.
+  Problem p = smith_waterman("AACC", "AACC", 2.0, -1.0, -1.0, 2);
+  tiling::TilingModel model(p.spec);
+  engine::EngineOptions opt;
+  opt.track_max = true;
+  auto r = engine::run(model, sequence_params({"AACC", "AACC"}), p.kernel,
+                       opt);
+  EXPECT_DOUBLE_EQ(r.max_value, 8.0);
+  EXPECT_EQ(r.max_point, (IntVec{0, 0}));
+  auto r2 = engine::run(model, sequence_params({"AACC", "AACC"}), p.kernel,
+                        opt);
+  EXPECT_EQ(r.max_point, r2.max_point);  // deterministic across runs
+}
+
+TEST(SmithWaterman, RejectsNonsensicalScores) {
+  EXPECT_THROW(smith_waterman("A", "A", -1.0, -1.0, -1.0), Error);
+  EXPECT_THROW(smith_waterman("A", "A", 2.0, 1.0, -1.0), Error);
+}
+
+TEST(CoinChange, ClassicCases) {
+  Problem p = coin_change({1, 5, 10, 25}, 8);
+  EXPECT_DOUBLE_EQ(p.reference({0}), 0.0);
+  EXPECT_DOUBLE_EQ(p.reference({6}), 2.0);    // 5 + 1
+  EXPECT_DOUBLE_EQ(p.reference({30}), 2.0);   // 25 + 5
+  EXPECT_DOUBLE_EQ(p.reference({63}), 6.0);   // 25+25+10+1+1+1
+  EXPECT_DOUBLE_EQ(run_engine(p, {63}), 6.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, {63}, 2, 2), 6.0);
+}
+
+TEST(CoinChange, GreedyFailsOptimalDp) {
+  // {1, 15, 16} at 30: greedy takes 16+1*14 = 15 coins, DP finds 15+15.
+  Problem p = coin_change({1, 15, 16}, 4);
+  EXPECT_DOUBLE_EQ(p.reference({30}), 2.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, {30}, 2, 1), 2.0);
+}
+
+TEST(CoinChange, UnreachableAmountsAreSentinel) {
+  Problem p = coin_change({4, 6}, 4);
+  EXPECT_DOUBLE_EQ(p.reference({7}), 1e18);   // odd amount unreachable
+  EXPECT_DOUBLE_EQ(run_engine(p, {7}), 1e18);
+  EXPECT_DOUBLE_EQ(p.reference({10}), 2.0);
+  EXPECT_DOUBLE_EQ(run_engine(p, {10}), 2.0);
+}
+
+TEST(CoinChange, LongRangeDepsCrossSeveralTiles) {
+  // Denomination 13 with tile width 4 reaches 3-4 tiles ahead.
+  Problem p = coin_change({13, 1}, 4);
+  tiling::TilingModel model(p.spec);
+  Int max_offset = 0;
+  for (const auto& e : model.edges())
+    max_offset = std::max(max_offset, e.offset[0]);
+  EXPECT_GE(max_offset, 3);
+  EXPECT_DOUBLE_EQ(run_engine(p, {27}, 3, 2), p.reference({27}));
+}
+
+TEST(CoinChange, RejectsBadDenominations) {
+  EXPECT_THROW(coin_change({}), Error);
+  EXPECT_THROW(coin_change({0}), Error);
+  EXPECT_THROW(coin_change({5, -2}), Error);
+}
+
+TEST(RandomDna, DeterministicAndWellFormed) {
+  std::string a = random_dna(64, 42);
+  EXPECT_EQ(a, random_dna(64, 42));
+  EXPECT_NE(a, random_dna(64, 43));
+  EXPECT_EQ(a.size(), 64u);
+  for (char c : a) EXPECT_NE(std::string("ACGT").find(c), std::string::npos);
+}
+
+TEST(SpecsCarryGeneratorCode, CenterCodePresent) {
+  // The paper-facing artifacts: every packaged problem ships center-loop
+  // code referencing the generator's symbols.
+  for (const auto& p :
+       {bandit2(), bandit3(), bandit2_delay(),
+        msa({"ACG", "ACT"}), lcs({"ACG", "ACT"})}) {
+    EXPECT_NE(p.spec.code().center.find("V[loc"), std::string::npos)
+        << p.spec.problem_name();
+  }
+}
+
+}  // namespace
+}  // namespace dpgen::problems

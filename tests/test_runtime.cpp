@@ -1,0 +1,214 @@
+// Unit tests for the runtime scheduling structures: tile priority order
+// (Fig. 5), the pending-tile table / ready queue (section V.B) and the edge
+// message wire format.
+
+#include <gtest/gtest.h>
+
+#include "runtime/driver.hpp"
+#include "runtime/order.hpp"
+#include "runtime/tile_table.hpp"
+
+namespace dpgen::runtime {
+namespace {
+
+TEST(TileOrderCmp, ColumnMajorPrefersMostAdvanced) {
+  // 2D, both dims positive deps: execution runs from high indices to low,
+  // so the tile furthest along (smaller t0, the balanced dim) runs first —
+  // it is the one that feeds the neighbouring rank.
+  TileOrder o({0, 1}, {1, 1}, PriorityPolicy::kColumnMajor);
+  EXPECT_TRUE(o.earlier({2, 9}, {3, 0}));
+  EXPECT_TRUE(o.earlier({2, 4}, {2, 5}));
+  EXPECT_FALSE(o.earlier({2, 5}, {2, 4}));
+  EXPECT_FALSE(o.earlier({1, 1}, {1, 1}));  // irreflexive
+}
+
+TEST(TileOrderCmp, DimPriorityReordersSignificance) {
+  // dim 1 most significant: smaller t1 wins regardless of t0.
+  TileOrder o({1, 0}, {1, 1}, PriorityPolicy::kColumnMajor);
+  EXPECT_TRUE(o.earlier({9, 2}, {0, 3}));
+}
+
+TEST(TileOrderCmp, NegativeSignFlipsDirection) {
+  // dim 0 has negative deps: execution low -> high, so larger t0 is
+  // further along and runs first.
+  TileOrder o({0}, {-1}, PriorityPolicy::kColumnMajor);
+  EXPECT_TRUE(o.earlier({2}, {1}));
+  EXPECT_FALSE(o.earlier({1}, {2}));
+}
+
+TEST(TileOrderCmp, LevelSetComparesDiagonals) {
+  TileOrder o({0, 1}, {1, 1}, PriorityPolicy::kLevelSet);
+  // Wavefront order: the less-progressed level set (larger coordinate sum
+  // under positive deps) runs first.
+  EXPECT_TRUE(o.earlier({2, 2}, {3, 0}));
+  EXPECT_TRUE(o.earlier({1, 3}, {2, 1}));
+  // Same level: ties broken by the column-major rule (most advanced in
+  // the priority dim first).
+  EXPECT_TRUE(o.earlier({2, 2}, {3, 1}));
+}
+
+TEST(TileOrderCmp, StrictWeakOrderingOnGrid) {
+  for (auto policy : {PriorityPolicy::kColumnMajor, PriorityPolicy::kLevelSet}) {
+    TileOrder o({0, 1}, {1, -1}, policy);
+    std::vector<IntVec> tiles;
+    for (Int a = 0; a < 4; ++a)
+      for (Int b = 0; b < 4; ++b) tiles.push_back({a, b});
+    for (const auto& x : tiles)
+      for (const auto& y : tiles) {
+        EXPECT_FALSE(o.earlier(x, y) && o.earlier(y, x));
+        if (x != y) EXPECT_TRUE(o.earlier(x, y) || o.earlier(y, x));
+      }
+  }
+}
+
+TileOrder default_order() {
+  return TileOrder({0, 1}, {1, 1}, PriorityPolicy::kColumnMajor);
+}
+
+TEST(TileTableOps, SeededTileIsImmediatelyReady) {
+  TileTable<double> table(default_order());
+  table.seed_ready({2, 2});
+  auto t = table.pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->tile, (IntVec{2, 2}));
+  EXPECT_TRUE(t->edges.empty());
+  EXPECT_FALSE(table.pop().has_value());
+}
+
+TEST(TileTableOps, TileReadyOnlyWhenAllDepsDelivered) {
+  TileTable<double> table(default_order());
+  auto two_deps = [](const IntVec&) { return 2; };
+  table.deliver({1, 1}, two_deps, {0, {1.0}});
+  EXPECT_FALSE(table.pop().has_value());
+  table.deliver({1, 1}, two_deps, {1, {2.0, 3.0}});
+  auto t = table.pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->tile, (IntVec{1, 1}));
+  ASSERT_EQ(t->edges.size(), 2u);
+  EXPECT_EQ(t->edges[0].edge, 0);
+  EXPECT_EQ(t->edges[1].payload, (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(TileTableOps, PopRespectsPriority) {
+  TileTable<double> table(default_order());
+  table.seed_ready({0, 5});
+  table.seed_ready({3, 1});
+  table.seed_ready({3, 4});
+  EXPECT_EQ(table.pop()->tile, (IntVec{0, 5}));
+  EXPECT_EQ(table.pop()->tile, (IntVec{3, 1}));
+  EXPECT_EQ(table.pop()->tile, (IntVec{3, 4}));
+}
+
+TEST(TileTableOps, StatsTrackPeaks) {
+  TileTable<double> table(default_order());
+  auto one_dep = [](const IntVec&) { return 1; };
+  auto two_deps = [](const IntVec&) { return 2; };
+  table.deliver({0, 0}, two_deps, {0, {1.0, 2.0}});
+  table.deliver({0, 1}, one_dep, {1, {3.0}});  // becomes ready
+  auto s = table.stats();
+  EXPECT_EQ(s.delivered_edges, 2);
+  EXPECT_EQ(s.peak_pending_tiles, 2);  // both seen pending at some point
+  EXPECT_EQ(s.peak_buffered_edges, 2);
+  EXPECT_EQ(s.peak_buffered_scalars, 3);
+  (void)table.pop();  // pops {0,1}; its edge memory released
+  table.deliver({0, 0}, two_deps, {1, {4.0}});
+  (void)table.pop();
+  EXPECT_TRUE(table.idle());
+}
+
+TEST(TileTableOps, IdleReflectsState) {
+  TileTable<float> table(default_order());
+  EXPECT_TRUE(table.idle());
+  table.deliver({0, 0}, [](const IntVec&) { return 2; }, {0, {}});
+  EXPECT_FALSE(table.idle());
+}
+
+TEST(ShardedTable, SingleShardBehavesLikePlainTable) {
+  TileOrder order = default_order();
+  ShardedTileTable<double> table(order, 1);
+  table.seed_ready({0, 5});
+  table.seed_ready({3, 1});
+  EXPECT_EQ(table.pop(0)->tile, (IntVec{0, 5}));
+  EXPECT_EQ(table.pop(0)->tile, (IntVec{3, 1}));
+  EXPECT_FALSE(table.pop(0).has_value());
+}
+
+TEST(ShardedTable, StealingFindsWorkInOtherShards) {
+  ShardedTileTable<double> table(default_order(), 4);
+  table.seed_ready({1, 1});  // lands in hash(tile) % 4
+  // Whatever the preferred shard, the single ready tile must be found.
+  for (int preferred = 0; preferred < 4; ++preferred) {
+    auto t = table.pop(preferred);
+    ASSERT_TRUE(t.has_value()) << "preferred " << preferred;
+    table.seed_ready(t->tile);  // put it back for the next round
+  }
+}
+
+TEST(ShardedTable, DeliverRoutesConsistently) {
+  ShardedTileTable<double> table(default_order(), 3);
+  auto two = [](const IntVec&) { return 2; };
+  table.deliver({2, 2}, two, {0, {1.0}});
+  EXPECT_FALSE(table.pop(0).has_value());  // still pending
+  table.deliver({2, 2}, two, {1, {2.0}});  // same shard via same hash
+  auto t = table.pop(0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->edges.size(), 2u);
+  EXPECT_TRUE(table.idle());
+}
+
+TEST(ShardedTable, StatsAggregateAcrossShards) {
+  ShardedTileTable<float> table(default_order(), 2);
+  auto one = [](const IntVec&) { return 1; };
+  table.deliver({0, 0}, one, {0, {1.0f, 2.0f}});
+  table.deliver({5, 5}, one, {0, {3.0f}});
+  auto s = table.stats();
+  EXPECT_EQ(s.delivered_edges, 2);
+  EXPECT_EQ(s.peak_buffered_scalars, 3);
+  EXPECT_THROW(ShardedTileTable<float>(default_order(), 0), Error);
+}
+
+TEST(EdgeWire, EncodeDecodeRoundTrip) {
+  std::vector<double> payload{1.5, -2.25, 0.0};
+  auto buf = detail::encode_edge<double>(3, {4, -1, 7}, payload);
+  int edge = -1;
+  IntVec consumer;
+  std::vector<double> out;
+  detail::decode_edge<double>(buf, 3, &edge, &consumer, &out);
+  EXPECT_EQ(edge, 3);
+  EXPECT_EQ(consumer, (IntVec{4, -1, 7}));
+  EXPECT_EQ(out, payload);
+}
+
+TEST(EdgeWire, EmptyPayloadRoundTrip) {
+  auto buf = detail::encode_edge<float>(0, {9}, {});
+  int edge = -1;
+  IntVec consumer;
+  std::vector<float> out;
+  detail::decode_edge<float>(buf, 1, &edge, &consumer, &out);
+  EXPECT_EQ(edge, 0);
+  EXPECT_EQ(consumer, (IntVec{9}));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdgeWire, TruncatedMessageRejected) {
+  auto buf = detail::encode_edge<double>(1, {2, 3}, {1.0});
+  buf.pop_back();
+  int edge;
+  IntVec consumer;
+  std::vector<double> out;
+  EXPECT_THROW(detail::decode_edge<double>(buf, 2, &edge, &consumer, &out),
+               Error);
+}
+
+TEST(EdgeWire, FloatScalarsSupported) {
+  std::vector<float> payload{1.0f, 2.0f};
+  auto buf = detail::encode_edge<float>(2, {0, 0}, payload);
+  int edge;
+  IntVec consumer;
+  std::vector<float> out;
+  detail::decode_edge<float>(buf, 2, &edge, &consumer, &out);
+  EXPECT_EQ(out, payload);
+}
+
+}  // namespace
+}  // namespace dpgen::runtime

@@ -1,0 +1,264 @@
+// Unit tests for ProblemSpec validation and the text input-format parser.
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+#include "spec/problem_spec.hpp"
+
+namespace dpgen::spec {
+namespace {
+
+ProblemSpec minimal_1d() {
+  ProblemSpec s;
+  s.name("line")
+      .params({"N"})
+      .vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .dep("r1", {1})
+      .tile_widths({4})
+      .center_code("V[loc] = is_valid_r1 ? V[loc_r1] + 1.0 : 1.0;\n");
+  return s;
+}
+
+TEST(SpecValidation, MinimalSpecValidates) {
+  ProblemSpec s = minimal_1d();
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.dim(), 1);
+  EXPECT_EQ(s.nparams(), 1);
+  EXPECT_EQ(s.dep_signs(), std::vector<int>{1});
+}
+
+TEST(SpecValidation, NegativeDepsGiveNegativeSign) {
+  ProblemSpec s;
+  s.vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= 9")
+      .dep("r1", {-1})
+      .tile_widths({3})
+      .center_code("V[loc] = 0.0;");
+  s.validate();
+  EXPECT_EQ(s.dep_signs(), std::vector<int>{-1});
+}
+
+TEST(SpecValidation, MixedSignDimensionRejected) {
+  ProblemSpec s;
+  s.vars({"x", "y"})
+      .constraint("x >= 0")
+      .constraint("x <= 9")
+      .constraint("y >= 0")
+      .constraint("y <= 9")
+      .dep("r1", {1, 0})
+      .dep("r2", {-1, 1})
+      .tile_widths({3, 3})
+      .center_code("V[loc] = 0.0;");
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, ZeroDependencyRejected) {
+  ProblemSpec s = minimal_1d();
+  s.dep("bad", {0});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, WrongArityDependencyRejected) {
+  ProblemSpec s = minimal_1d();
+  s.dep("bad", {1, 1});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, DuplicateDepNameRejected) {
+  ProblemSpec s = minimal_1d();
+  s.dep("r1", {2});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, MissingWidthsRejected) {
+  ProblemSpec s;
+  s.vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= 5")
+      .dep("r1", {1})
+      .center_code("V[loc] = 0.0;");
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, NonPositiveWidthRejected) {
+  ProblemSpec s = minimal_1d();
+  s.tile_widths({0});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, UnboundedSpaceRejected) {
+  ProblemSpec s;
+  s.vars({"x"})
+      .constraint("x >= 0")  // no upper bound
+      .dep("r1", {1})
+      .tile_widths({4})
+      .center_code("V[loc] = 0.0;");
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, ContradictorySpaceRejected) {
+  ProblemSpec s;
+  s.vars({"x"})
+      .constraint("x >= 5")
+      .constraint("x <= 2")
+      .dep("r1", {1})
+      .tile_widths({4})
+      .center_code("V[loc] = 0.0;");
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, UnknownLoadBalanceDimRejected) {
+  ProblemSpec s = minimal_1d();
+  s.load_balance({"zz"});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, DuplicateLoadBalanceDimRejected) {
+  ProblemSpec s = minimal_1d();
+  s.load_balance({"x", "x"});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, MissingCenterCodeRejected) {
+  ProblemSpec s;
+  s.vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= 5")
+      .dep("r1", {1})
+      .tile_widths({4});
+  EXPECT_THROW(s.validate(), Error);
+}
+
+TEST(SpecValidation, UnknownVariableInConstraintRejected) {
+  ProblemSpec s;
+  s.vars({"x"});
+  EXPECT_THROW(s.constraint("x + q <= 3"), Error);
+}
+
+constexpr const char* kBandit2Text = R"(
+# The paper's running example: the 2-arm Bernoulli bandit.
+problem bandit2
+params N
+vars s1 f1 s2 f2
+array V double
+
+constraints {
+  s1 >= 0
+  f1 >= 0
+  s2 >= 0
+  f2 >= 0
+  # all pulls fit in the horizon
+  s1 + f1 + s2 + f2 <= N
+}
+
+dep r1 = (1, 0, 0, 0)
+dep r2 = (0, 1, 0, 0)
+dep r3 = (0, 0, 1, 0)
+dep r4 = (0, 0, 0, 1)
+
+loadbalance s1 f1
+tilewidths 8 8 8 8
+
+global {{{
+static const double dp_tuning = 1.0;
+}}}
+
+center {{{
+V[loc] = is_valid_r1 ? V[loc_r1] : 0.0;
+}}}
+)";
+
+TEST(SpecParser, ParsesFullBandit2Description) {
+  ProblemSpec s = parse_spec(kBandit2Text);
+  EXPECT_EQ(s.problem_name(), "bandit2");
+  EXPECT_EQ(s.param_names(), (std::vector<std::string>{"N"}));
+  EXPECT_EQ(s.var_names(), (std::vector<std::string>{"s1", "f1", "s2", "f2"}));
+  EXPECT_EQ(s.array_name(), "V");
+  EXPECT_EQ(s.scalar_type(), "double");
+  EXPECT_EQ(s.deps().size(), 4u);
+  EXPECT_EQ(s.deps()[2].name, "r3");
+  EXPECT_EQ(s.deps()[2].vec, (IntVec{0, 0, 1, 0}));
+  EXPECT_EQ(s.load_balance_dims(),
+            (std::vector<std::string>{"s1", "f1"}));
+  EXPECT_EQ(s.widths(), (IntVec{8, 8, 8, 8}));
+  EXPECT_NE(s.code().global.find("dp_tuning"), std::string::npos);
+  EXPECT_NE(s.code().center.find("V[loc_r1]"), std::string::npos);
+  EXPECT_EQ(s.space().size(), 5);
+}
+
+TEST(SpecParser, ConstraintSectionMayPrecedeVars) {
+  ProblemSpec s = parse_spec(R"(
+problem p
+constraints {
+  x >= 0
+  x <= N
+}
+params N
+vars x
+dep r1 = (1)
+tilewidths 4
+center {{{
+V[loc] = 0.0;
+}}}
+)");
+  EXPECT_EQ(s.space().size(), 2);
+}
+
+TEST(SpecParser, ReportsLineNumbers) {
+  try {
+    parse_spec("problem p\nvars x\nbogus directive\n");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(SpecParser, UnterminatedBlockRejected) {
+  EXPECT_THROW(parse_spec("vars x\ncenter {{{\nV[loc] = 0.0;\n"), Error);
+}
+
+TEST(SpecParser, UnterminatedConstraintsRejected) {
+  EXPECT_THROW(parse_spec("vars x\nconstraints {\n x >= 0\n"), Error);
+}
+
+TEST(SpecParser, BadVectorRejected) {
+  EXPECT_THROW(parse_spec("vars x\ndep r1 = (1, q)\n"), Error);
+  EXPECT_THROW(parse_spec("vars x\ndep r1 = 1\n"), Error);
+}
+
+TEST(SpecParser, BadTileWidthRejected) {
+  EXPECT_THROW(parse_spec("vars x\ntilewidths four\n"), Error);
+}
+
+TEST(SpecParser, MissingVarsRejected) {
+  EXPECT_THROW(parse_spec("params N\n"), Error);
+}
+
+TEST(SpecParser, ArrayNameAndTypeParsed) {
+  ProblemSpec s = parse_spec(R"(
+vars x
+array cost float
+constraints {
+  x >= 0
+  x <= 7
+}
+dep r1 = (1)
+tilewidths 4
+center {{{
+cost[loc] = 0.0;
+}}}
+)");
+  EXPECT_EQ(s.array_name(), "cost");
+  EXPECT_EQ(s.scalar_type(), "float");
+}
+
+TEST(SpecParser, MissingFileThrows) {
+  EXPECT_THROW(parse_spec_file("/nonexistent/path/spec.txt"), Error);
+}
+
+}  // namespace
+}  // namespace dpgen::spec

@@ -1,0 +1,191 @@
+// Unit tests for the support layer: checked arithmetic, rationals, integer
+// vectors and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/checked.hpp"
+#include "support/rational.hpp"
+#include "support/str.hpp"
+#include "support/vec.hpp"
+
+namespace dpgen {
+namespace {
+
+constexpr Int kMax = std::numeric_limits<Int>::max();
+constexpr Int kMin = std::numeric_limits<Int>::min();
+
+TEST(Checked, AddBasic) {
+  EXPECT_EQ(add_ck(2, 3), 5);
+  EXPECT_EQ(add_ck(-2, 3), 1);
+  EXPECT_EQ(add_ck(kMax - 1, 1), kMax);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  EXPECT_THROW(add_ck(kMax, 1), Error);
+  EXPECT_THROW(add_ck(kMin, -1), Error);
+}
+
+TEST(Checked, SubOverflowThrows) {
+  EXPECT_THROW(sub_ck(kMin, 1), Error);
+  EXPECT_EQ(sub_ck(kMin + 1, 1), kMin);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_EQ(mul_ck(1ll << 31, 1ll << 31), 1ll << 62);
+  EXPECT_THROW(mul_ck(1ll << 32, 1ll << 32), Error);
+  EXPECT_THROW(mul_ck(kMin, -1), Error);
+}
+
+TEST(Checked, NegOfMinThrows) {
+  EXPECT_THROW(neg_ck(kMin), Error);
+  EXPECT_EQ(neg_ck(-5), 5);
+}
+
+TEST(Checked, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(Checked, CeilDivRoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(7, -2), -3);
+  EXPECT_EQ(ceil_div(-7, -2), 4);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+}
+
+TEST(Checked, DivByZeroThrows) {
+  EXPECT_THROW(floor_div(1, 0), Error);
+  EXPECT_THROW(ceil_div(1, 0), Error);
+}
+
+TEST(Checked, GcdLcm) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(0, 6), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rat r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rat(0, 7), Rat(0));
+  EXPECT_THROW(Rat(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rat(1, 2) + Rat(1, 3), Rat(5, 6));
+  EXPECT_EQ(Rat(1, 2) - Rat(1, 3), Rat(1, 6));
+  EXPECT_EQ(Rat(2, 3) * Rat(9, 4), Rat(3, 2));
+  EXPECT_EQ(Rat(2, 3) / Rat(4, 9), Rat(3, 2));
+  EXPECT_THROW(Rat(1) / Rat(0), Error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_GT(Rat(-1, 3), Rat(-1, 2));
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_LE(Rat(5), Rat(5));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(7, 2).ceil(), 4);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(4).floor(), 4);
+  EXPECT_EQ(Rat(4).ceil(), 4);
+}
+
+TEST(Rational, IntegerAccess) {
+  EXPECT_TRUE(Rat(8, 4).is_integer());
+  EXPECT_EQ(Rat(8, 4).as_int(), 2);
+  EXPECT_THROW(Rat(1, 2).as_int(), Error);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rat(3).to_string(), "3");
+  EXPECT_EQ(Rat(-1, 2).to_string(), "-1/2");
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (kBig/1) * (1/kBig) must not overflow thanks to cross-reduction.
+  Int big = 1ll << 40;
+  EXPECT_EQ(Rat(big) * Rat(1, big), Rat(1));
+}
+
+TEST(IntVecOps, AddSubScaleDot) {
+  IntVec a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(vec_add(a, b), (IntVec{5, -3, 9}));
+  EXPECT_EQ(vec_sub(a, b), (IntVec{-3, 7, -3}));
+  EXPECT_EQ(vec_scale(a, -2), (IntVec{-2, -4, -6}));
+  EXPECT_EQ(vec_dot(a, b), 4 - 10 + 18);
+}
+
+TEST(IntVecOps, IsZeroAndToString) {
+  EXPECT_TRUE(vec_is_zero(IntVec{0, 0}));
+  EXPECT_FALSE(vec_is_zero(IntVec{0, 1}));
+  EXPECT_EQ(vec_to_string(IntVec{1, -2}), "(1, -2)");
+  EXPECT_EQ(vec_to_string(IntVec{}), "()");
+}
+
+TEST(IntVecOps, HashDistinguishesPermutations) {
+  IntVecHash h;
+  EXPECT_NE(h(IntVec{1, 2}), h(IntVec{2, 1}));
+  EXPECT_EQ(h(IntVec{1, 2}), h(IntVec{1, 2}));
+}
+
+TEST(Str, TrimSplitJoin) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(split("a, b,,c", ", "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Str, Identifier) {
+  EXPECT_TRUE(is_identifier("abc_1"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("1x"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Str, Cat) {
+  EXPECT_EQ(cat("x=", 5, "!"), "x=5!");
+}
+
+TEST(ErrorHandling, CheckMacroThrows) {
+  EXPECT_THROW(DPGEN_CHECK(false, "boom"), Error);
+  EXPECT_NO_THROW(DPGEN_CHECK(true, "fine"));
+  try {
+    DPGEN_CHECK(false, "specific message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(ErrorHandling, AssertMacroMentionsLocation) {
+  try {
+    DPGEN_ASSERT(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_support.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpgen
