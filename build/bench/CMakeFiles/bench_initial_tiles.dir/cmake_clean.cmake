@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_initial_tiles.dir/bench_initial_tiles.cpp.o"
+  "CMakeFiles/bench_initial_tiles.dir/bench_initial_tiles.cpp.o.d"
+  "bench_initial_tiles"
+  "bench_initial_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_initial_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

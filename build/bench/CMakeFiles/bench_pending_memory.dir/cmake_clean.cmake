@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pending_memory.dir/bench_pending_memory.cpp.o"
+  "CMakeFiles/bench_pending_memory.dir/bench_pending_memory.cpp.o.d"
+  "bench_pending_memory"
+  "bench_pending_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pending_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

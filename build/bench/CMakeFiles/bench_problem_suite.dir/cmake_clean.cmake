@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_problem_suite.dir/bench_problem_suite.cpp.o"
+  "CMakeFiles/bench_problem_suite.dir/bench_problem_suite.cpp.o.d"
+  "bench_problem_suite"
+  "bench_problem_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_problem_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tilewidth_sweep.dir/bench_tilewidth_sweep.cpp.o"
+  "CMakeFiles/bench_tilewidth_sweep.dir/bench_tilewidth_sweep.cpp.o.d"
+  "bench_tilewidth_sweep"
+  "bench_tilewidth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tilewidth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_traceback.dir/alignment_traceback.cpp.o"
+  "CMakeFiles/alignment_traceback.dir/alignment_traceback.cpp.o.d"
+  "alignment_traceback"
+  "alignment_traceback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_traceback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

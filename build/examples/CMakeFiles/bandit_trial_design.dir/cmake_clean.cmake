@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandit_trial_design.dir/bandit_trial_design.cpp.o"
+  "CMakeFiles/bandit_trial_design.dir/bandit_trial_design.cpp.o.d"
+  "bandit_trial_design"
+  "bandit_trial_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandit_trial_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_program.dir/generate_program.cpp.o"
+  "CMakeFiles/generate_program.dir/generate_program.cpp.o.d"
+  "generate_program"
+  "generate_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_codegen.dir/emit.cpp.o"
+  "CMakeFiles/dpgen_codegen.dir/emit.cpp.o.d"
+  "CMakeFiles/dpgen_codegen.dir/generator.cpp.o"
+  "CMakeFiles/dpgen_codegen.dir/generator.cpp.o.d"
+  "libdpgen_codegen.a"
+  "libdpgen_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/decisions.cpp" "src/engine/CMakeFiles/dpgen_engine.dir/decisions.cpp.o" "gcc" "src/engine/CMakeFiles/dpgen_engine.dir/decisions.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/dpgen_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/dpgen_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/interpret.cpp" "src/engine/CMakeFiles/dpgen_engine.dir/interpret.cpp.o" "gcc" "src/engine/CMakeFiles/dpgen_engine.dir/interpret.cpp.o.d"
+  "/root/repo/src/engine/recovery.cpp" "src/engine/CMakeFiles/dpgen_engine.dir/recovery.cpp.o" "gcc" "src/engine/CMakeFiles/dpgen_engine.dir/recovery.cpp.o.d"
+  "/root/repo/src/engine/serial.cpp" "src/engine/CMakeFiles/dpgen_engine.dir/serial.cpp.o" "gcc" "src/engine/CMakeFiles/dpgen_engine.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tiling/CMakeFiles/dpgen_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dpgen_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/dpgen_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/dpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/dpgen_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_engine.dir/decisions.cpp.o"
+  "CMakeFiles/dpgen_engine.dir/decisions.cpp.o.d"
+  "CMakeFiles/dpgen_engine.dir/engine.cpp.o"
+  "CMakeFiles/dpgen_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/dpgen_engine.dir/interpret.cpp.o"
+  "CMakeFiles/dpgen_engine.dir/interpret.cpp.o.d"
+  "CMakeFiles/dpgen_engine.dir/recovery.cpp.o"
+  "CMakeFiles/dpgen_engine.dir/recovery.cpp.o.d"
+  "CMakeFiles/dpgen_engine.dir/serial.cpp.o"
+  "CMakeFiles/dpgen_engine.dir/serial.cpp.o.d"
+  "libdpgen_engine.a"
+  "libdpgen_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

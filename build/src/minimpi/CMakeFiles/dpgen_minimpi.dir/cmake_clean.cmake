@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_minimpi.dir/world.cpp.o"
+  "CMakeFiles/dpgen_minimpi.dir/world.cpp.o.d"
+  "libdpgen_minimpi.a"
+  "libdpgen_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

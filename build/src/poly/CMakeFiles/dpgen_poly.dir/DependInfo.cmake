@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/count.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/count.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/count.cpp.o.d"
+  "/root/repo/src/poly/ehrhart.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/ehrhart.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/ehrhart.cpp.o.d"
+  "/root/repo/src/poly/fm.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/fm.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/fm.cpp.o.d"
+  "/root/repo/src/poly/linexpr.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/linexpr.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/linexpr.cpp.o.d"
+  "/root/repo/src/poly/loopnest.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/loopnest.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/loopnest.cpp.o.d"
+  "/root/repo/src/poly/parse.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/parse.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/parse.cpp.o.d"
+  "/root/repo/src/poly/system.cpp" "src/poly/CMakeFiles/dpgen_poly.dir/system.cpp.o" "gcc" "src/poly/CMakeFiles/dpgen_poly.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_poly.dir/count.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/count.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/ehrhart.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/ehrhart.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/fm.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/fm.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/linexpr.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/linexpr.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/loopnest.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/loopnest.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/parse.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/parse.cpp.o.d"
+  "CMakeFiles/dpgen_poly.dir/system.cpp.o"
+  "CMakeFiles/dpgen_poly.dir/system.cpp.o.d"
+  "libdpgen_poly.a"
+  "libdpgen_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_problems.dir/affine_align.cpp.o"
+  "CMakeFiles/dpgen_problems.dir/affine_align.cpp.o.d"
+  "CMakeFiles/dpgen_problems.dir/bandit.cpp.o"
+  "CMakeFiles/dpgen_problems.dir/bandit.cpp.o.d"
+  "CMakeFiles/dpgen_problems.dir/lattice.cpp.o"
+  "CMakeFiles/dpgen_problems.dir/lattice.cpp.o.d"
+  "CMakeFiles/dpgen_problems.dir/sequences.cpp.o"
+  "CMakeFiles/dpgen_problems.dir/sequences.cpp.o.d"
+  "libdpgen_problems.a"
+  "libdpgen_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_runtime.dir/order.cpp.o"
+  "CMakeFiles/dpgen_runtime.dir/order.cpp.o.d"
+  "libdpgen_runtime.a"
+  "libdpgen_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

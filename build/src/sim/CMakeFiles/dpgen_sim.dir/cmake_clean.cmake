@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/dpgen_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/dpgen_sim.dir/svg.cpp.o"
+  "CMakeFiles/dpgen_sim.dir/svg.cpp.o.d"
+  "CMakeFiles/dpgen_sim.dir/tune.cpp.o"
+  "CMakeFiles/dpgen_sim.dir/tune.cpp.o.d"
+  "libdpgen_sim.a"
+  "libdpgen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

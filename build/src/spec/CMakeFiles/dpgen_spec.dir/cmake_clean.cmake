@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_spec.dir/parser.cpp.o"
+  "CMakeFiles/dpgen_spec.dir/parser.cpp.o.d"
+  "CMakeFiles/dpgen_spec.dir/problem_spec.cpp.o"
+  "CMakeFiles/dpgen_spec.dir/problem_spec.cpp.o.d"
+  "libdpgen_spec.a"
+  "libdpgen_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

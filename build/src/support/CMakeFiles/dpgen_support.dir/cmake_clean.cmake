@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_support.dir/error.cpp.o"
+  "CMakeFiles/dpgen_support.dir/error.cpp.o.d"
+  "CMakeFiles/dpgen_support.dir/str.cpp.o"
+  "CMakeFiles/dpgen_support.dir/str.cpp.o.d"
+  "libdpgen_support.a"
+  "libdpgen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiling/balance.cpp" "src/tiling/CMakeFiles/dpgen_tiling.dir/balance.cpp.o" "gcc" "src/tiling/CMakeFiles/dpgen_tiling.dir/balance.cpp.o.d"
+  "/root/repo/src/tiling/model.cpp" "src/tiling/CMakeFiles/dpgen_tiling.dir/model.cpp.o" "gcc" "src/tiling/CMakeFiles/dpgen_tiling.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/dpgen_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/dpgen_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpgen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

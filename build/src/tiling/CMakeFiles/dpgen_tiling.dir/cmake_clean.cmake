@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpgen_tiling.dir/balance.cpp.o"
+  "CMakeFiles/dpgen_tiling.dir/balance.cpp.o.d"
+  "CMakeFiles/dpgen_tiling.dir/model.cpp.o"
+  "CMakeFiles/dpgen_tiling.dir/model.cpp.o.d"
+  "libdpgen_tiling.a"
+  "libdpgen_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpgen_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

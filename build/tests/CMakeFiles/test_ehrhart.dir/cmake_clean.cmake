@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ehrhart.dir/test_ehrhart.cpp.o"
+  "CMakeFiles/test_ehrhart.dir/test_ehrhart.cpp.o.d"
+  "test_ehrhart"
+  "test_ehrhart.pdb"
+  "test_ehrhart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ehrhart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

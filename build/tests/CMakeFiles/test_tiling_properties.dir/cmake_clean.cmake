@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiling_properties.dir/test_tiling_properties.cpp.o"
+  "CMakeFiles/test_tiling_properties.dir/test_tiling_properties.cpp.o.d"
+  "test_tiling_properties"
+  "test_tiling_properties.pdb"
+  "test_tiling_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiling_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_poly[1]_include.cmake")
+include("/root/repo/build/tests/test_ehrhart[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_tiling[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_problems[1]_include.cmake")
+include("/root/repo/build/tests/test_tiling_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_reproduction[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen_fuzz[1]_include.cmake")
