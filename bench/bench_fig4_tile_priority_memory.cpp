@@ -31,6 +31,14 @@ void fig4_table() {
                 static_cast<long long>(n), col.peak_buffered_edges,
                 lvl.peak_buffered_edges, static_cast<long long>(n + 1),
                 static_cast<long long>(2 * (n - 1)));
+    json_record("fig4", "grid2d/n=" + std::to_string(n) + "/policy=column",
+                col.makespan,
+                {{"peak_buffered_edges",
+                  static_cast<double>(col.peak_buffered_edges)}});
+    json_record("fig4", "grid2d/n=" + std::to_string(n) + "/policy=level",
+                lvl.makespan,
+                {{"peak_buffered_edges",
+                  static_cast<double>(lvl.peak_buffered_edges)}});
   }
   // Higher-dimensional spaces: the level-set / column-major memory ratio
   // approaches ~d (section V.B).
@@ -50,6 +58,11 @@ void fig4_table() {
                 lvl.peak_buffered_edges,
                 static_cast<double>(lvl.peak_buffered_edges) /
                     static_cast<double>(col.peak_buffered_edges));
+    json_record("fig4", "simp" + std::to_string(d) + "/ratio", col.makespan,
+                {{"column", static_cast<double>(col.peak_buffered_edges)},
+                 {"levelset", static_cast<double>(lvl.peak_buffered_edges)},
+                 {"ratio", static_cast<double>(lvl.peak_buffered_edges) /
+                               static_cast<double>(col.peak_buffered_edges)}});
   }
   std::printf("\n");
 }
@@ -68,8 +81,10 @@ BENCHMARK(BM_SimulateGridColumnMajor)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dpgen::benchutil::parse_json_flag(&argc, argv);
   fig4_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }

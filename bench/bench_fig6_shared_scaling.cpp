@@ -57,6 +57,13 @@ void fig6_table() {
       auto r = sim::simulate(model, params, cfg);
       std::printf("%-10s %-7d %-10.2f %-10.3f %-12.4f\n", wl.name, cores,
                   r.speedup(), r.efficiency(cores), r.makespan);
+      json_record("fig6",
+                  std::string(wl.name) + "/cores=" + std::to_string(cores),
+                  r.makespan,
+                  {{"speedup", r.speedup()},
+                   {"efficiency", r.efficiency(cores)},
+                   {"tiles", static_cast<double>(r.tiles)},
+                   {"utilization", r.utilization}});
     }
   }
   std::printf(
@@ -78,8 +85,10 @@ BENCHMARK(BM_Simulate24Cores)->Arg(63)->Arg(127);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dpgen::benchutil::parse_json_flag(&argc, argv);
   fig6_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }

@@ -54,6 +54,14 @@ void fig7_table() {
       std::printf("%-10s %-7d %-10lld %-14lld %-12.4f %-10.3f\n", wl.name,
                   nodes, static_cast<long long>(n),
                   static_cast<long long>(cells), norm * 1e9, eff);
+      json_record("fig7",
+                  std::string(wl.name) + "/nodes=" + std::to_string(nodes),
+                  r.makespan,
+                  {{"ns_per_cell", norm * 1e9},
+                   {"efficiency", eff},
+                   {"cells", static_cast<double>(cells)},
+                   {"remote_messages",
+                    static_cast<double>(r.remote_messages)}});
       (void)probe_params;
     }
   }
@@ -78,8 +86,10 @@ BENCHMARK(BM_WeakScalePoint)->Arg(1)->Arg(4)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
+  dpgen::benchutil::parse_json_flag(&argc, argv);
   fig7_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }

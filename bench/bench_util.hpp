@@ -4,11 +4,20 @@
 // Every bench prints the series it regenerates with a leading "# <EXPID>"
 // header so EXPERIMENTS.md can be cross-checked mechanically, then runs its
 // google-benchmark microbenchmarks.
+//
+// Passing `--json <path>` (or `--json=<path>`) makes the bench also write
+// every table data point as a machine-readable record
+//   {"bench": ..., "config": ..., "seconds": ..., "metrics": {...}}
+// so sweeps can be diffed across commits without parsing printf tables.
+// The flag is stripped before google-benchmark sees argv.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "problems/problems.hpp"
 #include "sim/cluster_sim.hpp"
@@ -16,6 +25,85 @@
 #include "tiling/model.hpp"
 
 namespace dpgen::benchutil {
+
+/// Collects bench records and writes them as one JSON array on flush().
+/// Inactive (every call a no-op) until open() is given a path.
+class JsonSink {
+ public:
+  static JsonSink& instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void open(const std::string& path) { path_ = path; }
+  bool active() const { return !path_.empty(); }
+
+  void record(const std::string& bench, const std::string& config,
+              double seconds,
+              const std::vector<std::pair<std::string, double>>& metrics) {
+    if (!active()) return;
+    std::string r = "  {\"bench\": \"" + bench + "\", \"config\": \"" +
+                    config + "\", \"seconds\": " + num(seconds) +
+                    ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, value] : metrics) {
+      if (!first) r += ", ";
+      first = false;
+      r += "\"" + name + "\": " + num(value);
+    }
+    r += "}}";
+    records_.push_back(std::move(r));
+  }
+
+  /// Writes the collected records; call once at the end of main().
+  void flush() {
+    if (!active()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open --json file '%s'\n", path_.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  static std::string num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+/// Shorthand used by the table functions.
+inline void json_record(
+    const std::string& bench, const std::string& config, double seconds,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  JsonSink::instance().record(bench, config, seconds, metrics);
+}
+
+/// Strips `--json <path>` / `--json=<path>` from argv (call before
+/// benchmark::Initialize, which rejects unknown flags) and opens the sink.
+inline void parse_json_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      JsonSink::instance().open(argv[++i]);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      JsonSink::instance().open(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 /// An n-per-side square tile grid workload (unit deps).
 inline spec::ProblemSpec grid_spec(Int width) {

@@ -9,8 +9,8 @@
 // Compile the output with:
 //   c++ -std=c++20 -O2 -fopenmp -DDPGEN_RUNTIME_USE_OPENMP \
 //       -I<repo>/src out.cpp libdpgen_runtime.a libdpgen_minimpi.a \
-//       libdpgen_support.a -lpthread -o solver
-//   ./solver <params...> [--ranks=R] [--threads=T]
+//       libdpgen_obs.a libdpgen_support.a -lpthread -o solver
+//   ./solver <params...> [--ranks=R] [--threads=T] [--trace=FILE]
 
 #include <cstdio>
 #include <cstring>
@@ -107,8 +107,8 @@ int main(int argc, char** argv) {
                 model.dim(), model.num_edges());
     std::printf("compile: c++ -std=c++20 -O2 -fopenmp "
                 "-DDPGEN_RUNTIME_USE_OPENMP -I<repo>/src %s "
-                "libdpgen_runtime.a libdpgen_minimpi.a libdpgen_support.a "
-                "-lpthread -o solver\n",
+                "libdpgen_runtime.a libdpgen_minimpi.a libdpgen_obs.a "
+                "libdpgen_support.a -lpthread -o solver\n",
                 out_path.c_str());
     return 0;
   } catch (const Error& e) {

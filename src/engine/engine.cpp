@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "engine/decisions.hpp"
 #include "engine/interpret.hpp"
+#include "obs/export.hpp"
 #include "support/str.hpp"
 
 namespace dpgen::engine {
@@ -178,8 +180,23 @@ long long EngineResult::total(long long runtime::RunStats::* field) const {
 
 EngineResult run(const tiling::TilingModel& model, const IntVec& params,
                  const CenterFn& center, const EngineOptions& options) {
-  tiling::LoadBalancer balancer(model, params, options.ranks,
-                                options.balance);
+  // A trace request switches the process-wide tracer on for this run and
+  // starts it from a clean buffer, so the exported timeline covers exactly
+  // this execution.
+  const bool tracing = !options.trace_json_path.empty();
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  if (tracing) {
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+
+  std::optional<tiling::LoadBalancer> balancer_storage;
+  {
+    obs::ScopedSpan span(obs::Phase::kLoadBalance);
+    balancer_storage.emplace(model, params, options.ranks, options.balance);
+  }
+  tiling::LoadBalancer& balancer = *balancer_storage;
 
   Recorder recorder;
   recorder.record_all = options.record_all;
@@ -212,6 +229,19 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     rank_stats[static_cast<std::size_t>(comm.rank())] =
         runtime::run_node<double>(hooks, comm, ropt);
   });
+
+  if (tracing) {
+    // run_node gathered every rank's spans to rank 0, which (in this
+    // in-process world) merged them into the shared tracer; the setup
+    // spans recorded before the world started ride along under rank -1.
+    std::vector<obs::Span> spans = tracer.merged();
+    for (const obs::Span& s : tracer.collect_rank(-1)) spans.push_back(s);
+    obs::write_chrome_trace(options.trace_json_path, spans);
+    tracer.set_enabled(was_enabled);
+  }
+  if (!options.metrics_json_path.empty())
+    obs::write_metrics_json(options.metrics_json_path,
+                            obs::MetricsRegistry::instance());
 
   EngineResult result;
   result.values = std::move(recorder.values);

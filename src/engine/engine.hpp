@@ -78,6 +78,13 @@ struct EngineOptions {
   /// smallest location) — the objective shape of local-alignment style
   /// DPs, where the answer is max over the whole space rather than f(0).
   bool track_max = false;
+  /// When non-empty, span tracing is enabled for this run and the merged
+  /// rank x thread timeline is written here as Chrome trace-event JSON
+  /// (open in Perfetto / chrome://tracing; see docs/observability.md).
+  std::string trace_json_path;
+  /// When non-empty, the obs::MetricsRegistry is dumped here as JSON
+  /// after the run.
+  std::string metrics_json_path;
 };
 
 struct EngineResult {

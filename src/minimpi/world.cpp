@@ -5,10 +5,38 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
 namespace dpgen::minimpi {
+
+namespace {
+
+/// Cached registry handles (the send path must only touch atomics).
+obs::Counter& messages_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("comm.messages_sent");
+  return c;
+}
+obs::Counter& bytes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("comm.bytes_sent");
+  return c;
+}
+obs::Counter& blocked_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("comm.blocked_sends");
+  return c;
+}
+obs::Histogram& message_bytes_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("comm.message_bytes");
+  return h;
+}
+
+}  // namespace
 
 World::World(int nranks, std::size_t mailbox_capacity)
     : capacity_(mailbox_capacity) {
@@ -35,12 +63,17 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   std::unique_lock<std::mutex> lock(box.mu);
   if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
     ++blocked_sends_;
+    blocked_counter().increment();
+    obs::ScopedSpan span(obs::Phase::kBlockedSend);
     box.not_full.wait(
         lock, [&] { return box.queue.size() < world_->capacity_; });
   }
   box.queue.push_back(std::move(m));
   ++messages_sent_;
   bytes_sent_ += bytes;
+  messages_counter().increment();
+  bytes_counter().add(static_cast<std::int64_t>(bytes));
+  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
   box.not_empty.notify_one();
 }
 
@@ -50,6 +83,7 @@ bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(box.mu);
   if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
     ++blocked_sends_;
+    blocked_counter().increment();
     return false;
   }
   Message m;
@@ -60,6 +94,9 @@ bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   box.queue.push_back(std::move(m));
   ++messages_sent_;
   bytes_sent_ += bytes;
+  messages_counter().increment();
+  bytes_counter().add(static_cast<std::int64_t>(bytes));
+  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
   box.not_empty.notify_one();
   return true;
 }
@@ -160,6 +197,7 @@ const Message& Request::message() const {
 }
 
 void Comm::barrier() {
+  obs::ScopedSpan span(obs::Phase::kBarrier);
   std::unique_lock<std::mutex> lock(world_->barrier_mu_);
   std::uint64_t gen = world_->barrier_generation_;
   if (++world_->barrier_arrived_ == size()) {

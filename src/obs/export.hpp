@@ -1,0 +1,31 @@
+#pragma once
+// Trace / metrics exporters.
+//
+// chrome_trace_json renders spans in the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// one complete ("ph":"X") event per span, pid = rank, tid = thread, so
+// Perfetto / chrome://tracing shows one track per rank x thread.  The
+// cluster simulator's schedule goes through the same Span type, so
+// simulated and real timelines open side by side in one viewer.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dpgen::obs {
+
+/// Renders spans as a Chrome trace-event JSON document.
+std::string chrome_trace_json(const std::vector<Span>& spans);
+
+/// Writes chrome_trace_json(spans) to `path` (throws dpgen::Error on I/O
+/// failure).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans);
+
+/// Writes the registry's JSON dump to `path`.
+void write_metrics_json(const std::string& path,
+                        const MetricsRegistry& registry);
+
+}  // namespace dpgen::obs

@@ -1,0 +1,68 @@
+#pragma once
+// End-of-run trace merge: every rank ships its span buffer to rank 0
+// through the comm layer's collectives, mirroring what real MPI ranks
+// would do (MPI_Allreduce for the size, MPI_Gather for the payload).
+//
+// Header-only and duck-typed on the Comm interface so obs does not link
+// against minimpi (minimpi itself records spans, which would otherwise be
+// a dependency cycle).
+
+#include <cstring>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace dpgen::obs {
+
+/// Serializes spans into the fixed-size wire format [count, Span...].
+inline std::vector<std::uint8_t> serialize_spans(
+    const std::vector<Span>& spans) {
+  std::vector<std::uint8_t> out(sizeof(std::uint64_t) +
+                                spans.size() * sizeof(Span));
+  const std::uint64_t count = spans.size();
+  std::memcpy(out.data(), &count, sizeof(count));
+  if (!spans.empty())
+    std::memcpy(out.data() + sizeof(count), spans.data(),
+                spans.size() * sizeof(Span));
+  return out;
+}
+
+/// Inverse of serialize_spans; tolerates trailing padding bytes.
+inline std::vector<Span> deserialize_spans(const std::uint8_t* data,
+                                           std::size_t bytes) {
+  DPGEN_CHECK(bytes >= sizeof(std::uint64_t), "malformed span buffer");
+  std::uint64_t count = 0;
+  std::memcpy(&count, data, sizeof(count));
+  DPGEN_CHECK(bytes >= sizeof(count) + count * sizeof(Span),
+              "span buffer length mismatch");
+  std::vector<Span> spans(count);
+  if (count)
+    std::memcpy(spans.data(), data + sizeof(count), count * sizeof(Span));
+  return spans;
+}
+
+/// Gathers every rank's recorded spans to rank 0, which adds them to the
+/// tracer's merged set.  Collective: every rank of the communicator must
+/// call it (run_node does, after its final barrier).  CommT needs rank(),
+/// allreduce_max(double) and gather(root, data, bytes, out) — the shape
+/// of both minimpi::Comm and an MPI wrapper.
+template <typename CommT>
+void gather_and_merge(CommT& comm) {
+  Tracer& tracer = Tracer::instance();
+  std::vector<std::uint8_t> mine =
+      serialize_spans(tracer.collect_rank(comm.rank()));
+  // Ranks trace different amounts; gather needs one fixed size, so pad
+  // everyone to the largest buffer (the count prefix marks the real end).
+  const auto max_bytes = static_cast<std::size_t>(
+      comm.allreduce_max(static_cast<double>(mine.size())));
+  mine.resize(max_bytes, 0);
+  std::vector<std::uint8_t> all;
+  comm.gather(0, mine.data(), mine.size(), &all);
+  if (comm.rank() == 0) {
+    for (std::size_t off = 0; off < all.size(); off += max_bytes)
+      tracer.add_merged(deserialize_spans(all.data() + off, max_bytes));
+  }
+}
+
+}  // namespace dpgen::obs

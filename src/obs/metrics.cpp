@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include "support/str.hpp"
+
+namespace dpgen::obs {
+
+namespace {
+
+int bucket_index(std::int64_t v) {
+  if (v <= 0) return 0;
+  int b = 0;
+  while (v > 0 && b < Histogram::kBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(std::int64_t v) {
+  if (v < 0) v = 0;
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First observation seeds min/max (races only tighten them below).
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += cat(first ? "" : ",", "\n    \"", name, "\": ", c->value());
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += cat(first ? "" : ",", "\n    \"", name, "\": {\"value\": ",
+               g->value(), ", \"max\": ", g->max(), "}");
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += cat(first ? "" : ",", "\n    \"", name, "\": {\"count\": ",
+               h->count(), ", \"sum\": ", h->sum(), ", \"min\": ", h->min(),
+               ", \"max\": ", h->max(), ", \"buckets\": [");
+    // Trailing zero buckets are elided; the boundary of bucket b is 2^b.
+    int last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (h->bucket(b) != 0) last = b;
+    for (int b = 0; b <= last; ++b)
+      out += cat(b ? ", " : "", h->bucket(b));
+    out += "]}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += cat(name, " ", c->value(), "\n");
+  for (const auto& [name, g] : gauges_) {
+    out += cat(name, " ", g->value(), "\n");
+    out += cat(name, ".max ", g->max(), "\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += cat(name, ".count ", h->count(), "\n");
+    out += cat(name, ".sum ", h->sum(), "\n");
+    out += cat(name, ".min ", h->min(), "\n");
+    out += cat(name, ".max ", h->max(), "\n");
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace dpgen::obs

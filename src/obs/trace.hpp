@@ -1,0 +1,190 @@
+#pragma once
+// Runtime tracing: per-thread span buffers with Perfetto-compatible export.
+//
+// Every phase of a hybrid run — tile execution, edge unpacking/packing,
+// sends, blocked sends, polling, idle backoff, barriers, load balancing —
+// is recorded as a Span (steady-clock nanoseconds, rank, thread, tile
+// coordinates) into a per-thread ring buffer.  Buffers are single-writer:
+// the owning thread appends without taking a lock; collection happens
+// after the writer quiesced (workers joined, barrier passed).  The spans
+// of all ranks are merged through minimpi::Comm::gather at the end of
+// run_node (see obs/gather.hpp) and exported as Chrome trace-event JSON
+// (obs/export.hpp) with one track per rank x thread, loadable in Perfetto
+// or chrome://tracing.
+//
+// Cost model (the instrumentation sits on the runtime's hottest paths):
+//   * compile time: building with -DDPGEN_TRACE=0 compiles every record
+//     call and ScopedSpan to nothing — the macro path check.sh verifies;
+//   * runtime: tracing is off by default; a disabled tracer costs one
+//     relaxed atomic load per span site and no clock reads.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/vec.hpp"
+
+#ifndef DPGEN_TRACE
+#define DPGEN_TRACE 1
+#endif
+
+namespace dpgen::obs {
+
+/// True when span recording is compiled in (-DDPGEN_TRACE).
+inline constexpr bool kTraceCompiled = DPGEN_TRACE != 0;
+
+/// The span taxonomy (docs/observability.md).  Every phase of the node
+/// driver's while-loop, the comm layer and the setup path has one entry.
+enum class Phase : std::uint8_t {
+  kTileExecute = 0,  ///< the tile's loop nest (one span per executed tile)
+  kUnpack,           ///< stored edges -> fresh tile buffer ghost cells
+  kPack,             ///< boundary slab -> packed edge payload
+  kSend,             ///< routing one remote edge (encode + try_send loop)
+  kBlockedSend,      ///< waiting for a full destination mailbox
+  kPoll,             ///< draining this rank's mailbox
+  kIdle,             ///< no ready tile: poll/backoff stretch
+  kBarrier,          ///< minimpi barrier wait
+  kLoadBalance,      ///< ownership computation before the run
+  kInitScan,         ///< initial-tile face scan
+  kGather,           ///< end-of-run trace/metrics gather
+  kPhaseCount
+};
+
+/// Stable lower-case name for exporters ("tile_execute", "idle", ...).
+const char* phase_name(Phase p);
+
+/// Tile coordinates beyond this many dimensions are dropped from spans
+/// (the span stays; only the trailing coordinates are lost).
+inline constexpr int kMaxSpanDims = 6;
+
+/// One recorded interval.  Trivially copyable by design: rank buffers are
+/// serialized with memcpy and shipped through minimpi::Comm::gather.
+struct Span {
+  std::int64_t start_ns = 0;  ///< steady-clock ns since Tracer::epoch
+  std::int64_t end_ns = 0;
+  std::array<std::int32_t, kMaxSpanDims> coord{};  ///< tile coordinates
+  std::int16_t rank = -1;    ///< -1: outside any rank (setup phases)
+  std::int16_t thread = 0;   ///< worker id within the rank
+  Phase phase = Phase::kTileExecute;
+  std::uint8_t ncoord = 0;   ///< how many of `coord` are meaningful
+};
+
+static_assert(std::is_trivially_copyable_v<Span>, "Span is wire format");
+
+/// Process-wide tracer.  Ranks in this reproduction are threads of one
+/// process, so a single registry holds every rank's buffers; the per-rank
+/// collect + gather path still mirrors what real MPI ranks would do.
+class Tracer {
+ public:
+  /// Spans one thread can hold before the oldest are overwritten.
+  static constexpr std::size_t kRingCapacity = 1u << 16;
+
+  static Tracer& instance();
+
+  /// Runtime switch (cheap: one relaxed load on the disabled path).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on && kTraceCompiled, std::memory_order_relaxed);
+  }
+
+  /// Tags the calling thread's future spans.  Called by the node driver
+  /// when a rank / worker thread starts.
+  static void set_identity(int rank, int thread);
+
+  /// Steady-clock nanoseconds since the tracer's epoch (monotone).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a span for the calling thread (identity + clock applied).
+  void record(Phase phase, std::int64_t start_ns, std::int64_t end_ns,
+              const IntVec* tile = nullptr);
+
+  /// Records a fully specified span (the cluster simulator uses this to
+  /// write its simulated schedule through the same API).
+  void record_raw(const Span& span);
+
+  /// Snapshot of every span recorded with exactly this rank (use -1 for
+  /// spans recorded outside any rank, e.g. setup phases).  Writers for
+  /// that rank must have quiesced (joined / past a barrier).
+  std::vector<Span> collect_rank(int rank) const;
+
+  /// Snapshot of every recorded span regardless of rank.
+  std::vector<Span> collect_all() const;
+
+  /// Spans merged from all ranks (filled on the gather root).
+  std::vector<Span> merged() const;
+  void add_merged(std::vector<Span> spans);
+
+  /// Spans dropped because a thread's ring wrapped.
+  std::uint64_t dropped() const;
+
+  /// Forgets every recorded and merged span (buffers stay registered so
+  /// long-lived threads keep a valid slot).  Call between runs.
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    std::vector<Span> ring;
+    std::atomic<std::uint64_t> head{0};  ///< total spans ever written
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::int32_t> rank{-1};
+    std::atomic<std::int32_t> thread{0};
+  };
+
+  friend class ScopedSpan;
+
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  ThreadBuffer& local_buffer();
+  void collect_into(const ThreadBuffer& buf, bool filter, int want_rank,
+                    std::vector<Span>* out) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards buffers_ growth and merged_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<Span> merged_;
+};
+
+/// RAII span: records [construction, destruction) when tracing is on.
+/// With DPGEN_TRACE=0 the whole class compiles to an empty object.
+class ScopedSpan {
+ public:
+#if DPGEN_TRACE
+  explicit ScopedSpan(Phase phase, const IntVec* tile = nullptr)
+      : phase_(phase), tile_(tile) {
+    Tracer& t = Tracer::instance();
+    if (t.enabled()) start_ns_ = t.now_ns();
+  }
+  ~ScopedSpan() { close(); }
+
+  /// Ends the span early (idempotent).
+  void close() {
+    if (start_ns_ < 0) return;
+    Tracer& t = Tracer::instance();
+    t.record(phase_, start_ns_, t.now_ns(), tile_);
+    start_ns_ = -1;
+  }
+
+ private:
+  Phase phase_;
+  const IntVec* tile_;
+  std::int64_t start_ns_ = -1;
+#else
+  explicit ScopedSpan(Phase, const IntVec* = nullptr) {}
+  void close() {}
+#endif
+
+ public:
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+}  // namespace dpgen::obs

@@ -21,17 +21,28 @@
 // and DPGEN_RUNTIME_USE_OPENMP (as generated programs are), the workers
 // run inside an OpenMP parallel region instead, making the program a true
 // hybrid OpenMP + message-passing executable.
+//
+// Observability: every phase of the loop records an obs::ScopedSpan
+// (tile-execute spans carry the tile coordinates) and the counters feed
+// the obs::MetricsRegistry alongside the returned RunStats.  At the end
+// of the run the ranks' span buffers are merged to rank 0 through the
+// comm layer (obs/gather.hpp), ready for Chrome-trace export.
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "minimpi/world.hpp"
+#include "support/str.hpp"
+#include "obs/gather.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/tile_table.hpp"
 
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
@@ -108,6 +119,11 @@ struct RunStats {
   long long idle_spins = 0;
   double init_scan_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Wall time this rank's workers spent with no ready tile (includes the
+  /// exponential-backoff sleeps, which dominate long idle stretches).
+  double idle_seconds = 0.0;
+  /// Wall time spent retrying sends against full destination mailboxes.
+  double blocked_send_seconds = 0.0;
   TableStats table;
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -153,6 +169,65 @@ void decode_edge(const std::vector<std::uint8_t>& buf, int dim, int* edge,
     std::memcpy(payload->data(), buf.data() + head, count * sizeof(S));
 }
 
+/// Bounded exponential backoff for the driver's wait loops.  The first
+/// pauses only yield (a waiting thread reacts within a scheduling
+/// quantum); after that it sleeps with doubling duration up to a small
+/// cap, so an idle worker stops burning its core while a message or a
+/// ready tile is at most ~an eighth of a millisecond away.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    if (sleep_us_ < kMaxSleepUs) sleep_us_ *= 2;
+  }
+
+  void reset() {
+    spins_ = 0;
+    sleep_us_ = 1;
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  static constexpr long kMaxSleepUs = 128;
+  int spins_ = 0;
+  long sleep_us_ = 1;
+};
+
+/// Per-run cached handles into the metrics registry (name lookups are
+/// mutex-guarded; the hot loop must only touch atomics).
+struct DriverMetrics {
+  obs::Counter& tiles = obs::MetricsRegistry::instance().counter(
+      "runtime.tiles_executed");
+  obs::Counter& local_edges = obs::MetricsRegistry::instance().counter(
+      "runtime.local_edges");
+  obs::Counter& remote_edges = obs::MetricsRegistry::instance().counter(
+      "runtime.remote_edges");
+  obs::Counter& polls =
+      obs::MetricsRegistry::instance().counter("runtime.polls");
+  obs::Counter& idle_ns = obs::MetricsRegistry::instance().counter(
+      "runtime.idle_ns");
+  obs::Counter& blocked_send_ns = obs::MetricsRegistry::instance().counter(
+      "runtime.blocked_send_ns");
+  obs::Histogram& tile_ns = obs::MetricsRegistry::instance().histogram(
+      "runtime.tile_latency_ns");
+  obs::Histogram& payload_scalars =
+      obs::MetricsRegistry::instance().histogram(
+          "runtime.edge_payload_scalars");
+  /// Per-edge-direction remote send counts (index = edge id).
+  std::vector<obs::Counter*> edge_sent;
+
+  explicit DriverMetrics(int num_edges) {
+    for (int e = 0; e < num_edges; ++e)
+      edge_sent.push_back(&obs::MetricsRegistry::instance().counter(
+          cat("runtime.edge_sent.e", e)));
+  }
+};
+
 }  // namespace detail
 
 /// Executes one rank's share of the problem.  Returns per-rank statistics.
@@ -164,11 +239,15 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   const int rank = comm.rank();
   const int dim = hooks.dim();
 
+  obs::Tracer::set_identity(rank, 0);
+  detail::DriverMetrics metrics(hooks.num_edges());
+
   RunStats stats;
   ShardedTileTable<S> table(opt.order, opt.queue_shards);
 
   // ---- initial tiles (paper IV.K): serial, then filtered by ownership ----
   {
+    obs::ScopedSpan span(obs::Phase::kInitScan);
     const auto t0 = Clock::now();
     std::vector<IntVec> initial;
     hooks.initial_tiles(initial);
@@ -193,6 +272,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   auto poll = [&](RunStats& local) -> bool {
     std::unique_lock<std::mutex> lock(poll_mu, std::try_to_lock);
     if (!lock.owns_lock()) return false;
+    obs::ScopedSpan span(obs::Phase::kPoll);
     bool got = false;
     while (auto msg = comm.try_recv()) {
       int edge = -1;
@@ -208,19 +288,32 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   };
 
   auto worker = [&](int worker_id) {
+    obs::Tracer::set_identity(rank, worker_id);
     const int preferred_shard = worker_id % table.shards();
     RunStats local;
     std::vector<S> buffer(static_cast<std::size_t>(hooks.buffer_size()));
     std::vector<S> scratch;
     long long seen_marker = progress_marker.load();
     auto seen_time = Clock::now();
+    detail::Backoff backoff;
+    // Set while in an idle stretch (no ready tile): its start time.
+    bool idling = false;
+    auto idle_since = Clock::now();
 
     while (done.load(std::memory_order_acquire) < owned) {
       auto ready = table.pop(preferred_shard);
       if (!ready) {
-        if (poll(local)) progress_marker.fetch_add(1);
+        // 6'. idle path: poll, then back off so the core is not burnt.
+        if (!idling) {
+          idling = true;
+          idle_since = Clock::now();
+        }
+        if (poll(local)) {
+          progress_marker.fetch_add(1);
+          backoff.reset();
+        }
         ++local.idle_spins;
-        std::this_thread::yield();
+        backoff.pause();
         if (opt.stall_timeout_seconds > 0) {
           long long marker = progress_marker.load();
           if (marker != seen_marker) {
@@ -234,24 +327,50 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         }
         continue;
       }
+      if (idling) {
+        const double idle =
+            std::chrono::duration<double>(Clock::now() - idle_since).count();
+        local.idle_seconds += idle;
+        metrics.idle_ns.add(static_cast<std::int64_t>(idle * 1e9));
+        obs::Tracer& tracer = obs::Tracer::instance();
+        if (tracer.enabled()) {
+          const std::int64_t end_ns = tracer.now_ns();
+          tracer.record(obs::Phase::kIdle,
+                        end_ns - static_cast<std::int64_t>(idle * 1e9),
+                        end_ns);
+        }
+        idling = false;
+        backoff.reset();
+      }
       progress_marker.fetch_add(1, std::memory_order_relaxed);
 
       // 2. fresh buffer + unpack stored edges
-      if constexpr (std::is_floating_point_v<S>) {
-        std::fill(buffer.begin(), buffer.end(),
-                  opt.poison_buffers ? std::numeric_limits<S>::quiet_NaN()
-                                     : S{});
-      } else {
-        std::fill(buffer.begin(), buffer.end(), S{});
-      }
-      for (const auto& e : ready->edges) {
-        IntVec producer = vec_add(ready->tile, hooks.edge_offset(e.edge));
-        hooks.unpack(e.edge, producer, e.payload.data(),
-                     static_cast<Int>(e.payload.size()), buffer.data());
+      {
+        obs::ScopedSpan span(obs::Phase::kUnpack, &ready->tile);
+        if constexpr (std::is_floating_point_v<S>) {
+          std::fill(buffer.begin(), buffer.end(),
+                    opt.poison_buffers ? std::numeric_limits<S>::quiet_NaN()
+                                       : S{});
+        } else {
+          std::fill(buffer.begin(), buffer.end(), S{});
+        }
+        for (const auto& e : ready->edges) {
+          IntVec producer = vec_add(ready->tile, hooks.edge_offset(e.edge));
+          hooks.unpack(e.edge, producer, e.payload.data(),
+                       static_cast<Int>(e.payload.size()), buffer.data());
+        }
       }
 
       // 3. execute
-      hooks.execute_tile(ready->tile, buffer.data());
+      {
+        obs::ScopedSpan span(obs::Phase::kTileExecute, &ready->tile);
+        const auto t0 = Clock::now();
+        hooks.execute_tile(ready->tile, buffer.data());
+        metrics.tile_ns.observe(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+      }
       hooks.on_tile_executed(ready->tile, buffer.data());
       ++local.tiles_executed;
 
@@ -259,18 +378,37 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       for (int e = 0; e < hooks.num_edges(); ++e) {
         IntVec consumer = vec_sub(ready->tile, hooks.edge_offset(e));
         if (!hooks.tile_exists(consumer)) continue;
-        hooks.pack(e, ready->tile, buffer.data(), scratch);
+        {
+          obs::ScopedSpan span(obs::Phase::kPack, &ready->tile);
+          hooks.pack(e, ready->tile, buffer.data(), scratch);
+        }
+        metrics.payload_scalars.observe(
+            static_cast<std::int64_t>(scratch.size()));
         int dst = hooks.owner(consumer);
         if (dst == rank) {
           table.deliver(consumer, expected_deps, EdgeData<S>{e, scratch});
           ++local.local_edges;
         } else {
+          obs::ScopedSpan span(obs::Phase::kSend, &consumer);
           auto msg = detail::encode_edge<S>(e, consumer, scratch);
-          while (!comm.try_send(dst, e, msg.data(), msg.size())) {
-            // Destination buffers full: service our own mailbox meanwhile.
-            poll(local);
-            std::this_thread::yield();
+          if (!comm.try_send(dst, e, msg.data(), msg.size())) {
+            // Destination buffers full: service our own mailbox while
+            // backing off, which avoids cyclic send deadlocks under
+            // small buffer budgets.
+            obs::ScopedSpan blocked(obs::Phase::kBlockedSend, &consumer);
+            const auto t0 = Clock::now();
+            detail::Backoff send_backoff;
+            do {
+              poll(local);
+              send_backoff.pause();
+            } while (!comm.try_send(dst, e, msg.data(), msg.size()));
+            const double waited =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            local.blocked_send_seconds += waited;
+            metrics.blocked_send_ns.add(
+                static_cast<std::int64_t>(waited * 1e9));
           }
+          metrics.edge_sent[static_cast<std::size_t>(e)]->increment();
           ++local.remote_edges;
         }
       }
@@ -280,12 +418,19 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       poll(local);
     }
 
+    metrics.tiles.add(local.tiles_executed);
+    metrics.local_edges.add(local.local_edges);
+    metrics.remote_edges.add(local.remote_edges);
+    metrics.polls.add(local.polls);
+
     std::lock_guard<std::mutex> lock(stats_mu);
     stats.tiles_executed += local.tiles_executed;
     stats.local_edges += local.local_edges;
     stats.remote_edges += local.remote_edges;
     stats.polls += local.polls;
     stats.idle_spins += local.idle_spins;
+    stats.idle_seconds += local.idle_seconds;
+    stats.blocked_send_seconds += local.blocked_send_seconds;
   };
 
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
@@ -301,13 +446,27 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   }
 #endif
 
-  comm.barrier();
+  obs::Tracer::set_identity(rank, 0);
+  {
+    obs::ScopedSpan span(obs::Phase::kBarrier);
+    comm.barrier();
+  }
   stats.table = table.stats();
   stats.messages_sent = comm.messages_sent();
   stats.bytes_sent = comm.bytes_sent();
   stats.blocked_sends = comm.blocked_sends();
   stats.total_seconds =
       std::chrono::duration<double>(Clock::now() - t_start).count();
+
+#if DPGEN_TRACE
+  // Merge every rank's span buffer to rank 0 (collective, so every rank
+  // participates exactly when all do — the flag is process-wide here and
+  // would be mirrored across real MPI ranks by the launcher).
+  if (obs::Tracer::instance().enabled()) {
+    obs::ScopedSpan span(obs::Phase::kGather);
+    obs::gather_and_merge(comm);
+  }
+#endif
   return stats;
 }
 

@@ -19,6 +19,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "runtime/order.hpp"
 #include "support/error.hpp"
 
@@ -45,7 +46,19 @@ struct TableStats {
   long long peak_buffered_edges = 0;
   long long peak_buffered_scalars = 0;
   long long delivered_edges = 0;
+  /// Most tiles simultaneously eligible (ready-queue depth high-water).
+  long long peak_ready_tiles = 0;
 };
+
+namespace detail {
+/// Process-wide ready-queue depth gauge (its max is the useful signal;
+/// the instantaneous value mixes shards and ranks).
+inline obs::Gauge& ready_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("runtime.ready_queue_depth");
+  return g;
+}
+}  // namespace detail
 
 template <typename S>
 class TileTable {
@@ -62,6 +75,7 @@ class TileTable {
   void seed_ready(IntVec tile) {
     std::lock_guard<std::mutex> lock(mu_);
     ready_.emplace(std::move(tile), std::vector<EdgeData<S>>{});
+    note_ready_depth();
   }
 
   /// Delivers one edge for `tile`.  On first sight of the tile,
@@ -92,6 +106,7 @@ class TileTable {
     if (--it->second.waiting == 0) {
       ready_.emplace(tile, std::move(it->second.edges));
       pending_.erase(it);
+      note_ready_depth();
     }
   }
 
@@ -125,6 +140,13 @@ class TileTable {
     int waiting = 0;
     std::vector<EdgeData<S>> edges;
   };
+
+  /// Called under mu_ whenever a tile becomes eligible.
+  void note_ready_depth() {
+    auto depth = static_cast<long long>(ready_.size());
+    stats_.peak_ready_tiles = std::max(stats_.peak_ready_tiles, depth);
+    detail::ready_depth_gauge().set(depth);
+  }
 
   TileOrder order_;
   mutable std::mutex mu_;
@@ -190,6 +212,7 @@ class ShardedTileTable {
       total.peak_buffered_edges += t.peak_buffered_edges;
       total.peak_buffered_scalars += t.peak_buffered_scalars;
       total.delivered_edges += t.delivered_edges;
+      total.peak_ready_tiles += t.peak_ready_tiles;
     }
     return total;
   }

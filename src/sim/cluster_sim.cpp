@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace dpgen::sim {
@@ -175,6 +176,26 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
       }
     }
     for (int n : touched) dispatch(n, now);
+  }
+
+  if (cfg.trace_timeline && obs::Tracer::instance().enabled()) {
+    // Replay the simulated schedule through the span API: one
+    // tile-execute span per TileSpan, simulated seconds mapped to trace
+    // nanoseconds, so real and simulated timelines share one viewer.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    for (const TileSpan& ts : result.timeline) {
+      obs::Span s;
+      s.start_ns = static_cast<std::int64_t>(ts.start * 1e9);
+      s.end_ns = static_cast<std::int64_t>(ts.end * 1e9);
+      s.rank = static_cast<std::int16_t>(ts.node);
+      s.thread = static_cast<std::int16_t>(ts.core);
+      s.phase = obs::Phase::kTileExecute;
+      s.ncoord = static_cast<std::uint8_t>(
+          std::min<std::size_t>(ts.tile.size(), obs::kMaxSpanDims));
+      for (std::size_t k = 0; k < s.ncoord; ++k)
+        s.coord[k] = static_cast<std::int32_t>(ts.tile[k]);
+      tracer.record_raw(s);
+    }
   }
 
   result.makespan = makespan;

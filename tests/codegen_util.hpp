@@ -1,8 +1,8 @@
 #pragma once
 // Shared helpers for tests that compile and run generated programs with
 // the host toolchain.  The consuming CMake target must define
-// DPGEN_CXX_COMPILER, DPGEN_SRC_DIR, DPGEN_LIB_RUNTIME, DPGEN_LIB_MINIMPI
-// and DPGEN_LIB_SUPPORT.
+// DPGEN_CXX_COMPILER, DPGEN_SRC_DIR, DPGEN_LIB_RUNTIME, DPGEN_LIB_MINIMPI,
+// DPGEN_LIB_OBS and DPGEN_LIB_SUPPORT.
 
 #include <gtest/gtest.h>
 
@@ -54,8 +54,8 @@ inline CompiledProgram compile_program(const std::string& src_path,
   std::string cmd = cat(
       DPGEN_CXX_COMPILER, " -std=c++20 -O1 -fopenmp -Wall -Wextra -Werror ",
       "-DDPGEN_RUNTIME_USE_OPENMP -I", DPGEN_SRC_DIR, " ", src_path, " ",
-      DPGEN_LIB_RUNTIME, " ", DPGEN_LIB_MINIMPI, " ", DPGEN_LIB_SUPPORT,
-      " -lpthread -o ", out.binary);
+      DPGEN_LIB_RUNTIME, " ", DPGEN_LIB_MINIMPI, " ", DPGEN_LIB_OBS, " ",
+      DPGEN_LIB_SUPPORT, " -lpthread -o ", out.binary);
   auto [status, log] = run_command(cmd);
   out.ok = (status == 0);
   out.log = log;

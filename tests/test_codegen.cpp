@@ -13,6 +13,8 @@
 #include "codegen/emit.hpp"
 #include "codegen/generator.hpp"
 #include "codegen_util.hpp"
+#include "json_util.hpp"
+#include "obs/trace.hpp"
 #include "poly/parse.hpp"
 #include "problems/problems.hpp"
 #include "support/str.hpp"
@@ -203,6 +205,35 @@ TEST(EndToEnd, GeneratedLcsMatchesOracle) {
       run_command(cat(prog.binary, args, " --ranks=2 --threads=2"));
   ASSERT_EQ(status, 0) << out;
   EXPECT_DOUBLE_EQ(parse_result(out, p.objective), 4.0) << out;
+
+  // The generated program's --trace/--metrics flags produce a loadable
+  // Chrome trace (one tile_execute X event per tile) and a metrics dump.
+  if (obs::kTraceCompiled) {
+    std::string trace = testing::TempDir() + "/dpgen_lcs_trace.json";
+    std::string metrics = testing::TempDir() + "/dpgen_lcs_metrics.json";
+    auto [tstatus, tout] = run_command(cat(
+        prog.binary, args, " --ranks=2 --threads=2 --trace=", trace,
+        " --metrics=", metrics));
+    ASSERT_EQ(tstatus, 0) << tout;
+    std::ifstream tf(trace);
+    ASSERT_TRUE(tf.good()) << "generated program wrote no trace file";
+    std::stringstream ss;
+    ss << tf.rdbuf();
+    auto doc = json::parse(ss.str());
+    long long tile_events = 0;
+    for (const auto& ev : doc->at("traceEvents").as_array())
+      if (ev->at("ph").as_string() == "X" &&
+          ev->at("cat").as_string() == "tile_execute")
+        ++tile_events;
+    EXPECT_EQ(tile_events, model.total_tiles(params));
+    std::ifstream mf(metrics);
+    ASSERT_TRUE(mf.good()) << "generated program wrote no metrics file";
+    std::stringstream ms;
+    ms << mf.rdbuf();
+    EXPECT_NO_THROW(json::parse(ms.str()));
+    std::remove(trace.c_str());
+    std::remove(metrics.c_str());
+  }
 }
 
 TEST(EndToEnd, GeneratedDelayedBanditMatchesOracle) {

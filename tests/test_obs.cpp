@@ -1,0 +1,319 @@
+// Tests for the observability subsystem: metrics instruments, the span
+// tracer, Chrome trace-event export, and the end-to-end multi-rank path —
+// a real engine run whose exported timeline is validated structurally and
+// whose counters must satisfy conservation laws (every sent edge is
+// delivered, every owned tile is executed exactly once).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "json_util.hpp"
+#include "obs/export.hpp"
+#include "obs/gather.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tiling/balance.hpp"
+
+namespace dpgen {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  obs::Counter c;
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), 6);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+
+  obs::Gauge g;
+  g.set(7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 7);
+
+  obs::Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(1024);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 1030);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1024);
+  EXPECT_EQ(h.bucket(0), 1);  // the zero observation
+  EXPECT_EQ(h.bucket(1), 1);  // 1 lands in [1,2)
+  EXPECT_EQ(h.bucket(3), 1);  // 5 lands in [4,8)
+  EXPECT_EQ(h.bucket(11), 1);  // 1024 lands in [1024,2048)
+}
+
+TEST(Metrics, RegistryJsonParsesAndKeepsHandles) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Counter& c = reg.counter("test_obs.events");
+  obs::Counter& c2 = reg.counter("test_obs.events");
+  EXPECT_EQ(&c, &c2);  // same name, same instrument
+  c.add(42);
+  reg.gauge("test_obs.level").set(9);
+  reg.histogram("test_obs.sizes").observe(100);
+
+  auto doc = json::parse(reg.to_json());
+  EXPECT_EQ(doc->at("counters").at("test_obs.events").as_number(), 42);
+  EXPECT_EQ(doc->at("gauges").at("test_obs.level").at("value").as_number(),
+            9);
+  const auto& hist = doc->at("histograms").at("test_obs.sizes");
+  EXPECT_EQ(hist.at("count").as_number(), 1);
+  EXPECT_EQ(hist.at("sum").as_number(), 100);
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);  // reset zeroes but the reference stays valid
+}
+
+TEST(Tracer, RecordsPerThreadAndCollectsByRank) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with DPGEN_TRACE=0";
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &tracer] {
+      obs::Tracer::set_identity(/*rank=*/7, /*thread=*/t);
+      for (int i = 0; i < kSpansEach; ++i) {
+        IntVec tile{t, i};
+        std::int64_t now = tracer.now_ns();
+        tracer.record(obs::Phase::kTileExecute, now, now + 10, &tile);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  tracer.set_enabled(false);
+
+  auto spans = tracer.collect_rank(7);
+  ASSERT_EQ(spans.size(), kThreads * kSpansEach);
+  std::set<int> seen_threads;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.rank, 7);
+    EXPECT_EQ(s.ncoord, 2);
+    EXPECT_GE(s.end_ns, s.start_ns);
+    seen_threads.insert(s.thread);
+  }
+  EXPECT_EQ(seen_threads.size(), kThreads);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.collect_rank(12345).empty());
+  tracer.clear();
+  EXPECT_TRUE(tracer.collect_rank(7).empty());
+}
+
+TEST(Tracer, DisabledRecordingIsANoOp) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(false);
+  tracer.record(obs::Phase::kIdle, 0, 1);
+  EXPECT_TRUE(tracer.collect_all().empty());
+}
+
+TEST(Tracer, SpanSerializationRoundTrips) {
+  std::vector<obs::Span> spans(3);
+  spans[0].start_ns = 10;
+  spans[0].end_ns = 20;
+  spans[0].rank = 1;
+  spans[0].thread = 2;
+  spans[0].phase = obs::Phase::kPack;
+  spans[0].ncoord = 2;
+  spans[0].coord[0] = 5;
+  spans[0].coord[1] = -3;
+  spans[2].phase = obs::Phase::kBarrier;
+
+  auto bytes = obs::serialize_spans(spans);
+  bytes.resize(bytes.size() + 37);  // gather pads buffers; must tolerate
+  auto back = obs::deserialize_spans(bytes.data(), bytes.size());
+  ASSERT_EQ(back.size(), spans.size());
+  EXPECT_EQ(back[0].start_ns, 10);
+  EXPECT_EQ(back[0].coord[1], -3);
+  EXPECT_EQ(back[0].phase, obs::Phase::kPack);
+  EXPECT_EQ(back[2].phase, obs::Phase::kBarrier);
+}
+
+TEST(Export, ChromeTraceShape) {
+  std::vector<obs::Span> spans(2);
+  spans[0].start_ns = 1000;
+  spans[0].end_ns = 2500;
+  spans[0].rank = 0;
+  spans[0].thread = 1;
+  spans[0].phase = obs::Phase::kTileExecute;
+  spans[0].ncoord = 2;
+  spans[0].coord[0] = 3;
+  spans[0].coord[1] = 4;
+  spans[1].start_ns = 0;
+  spans[1].end_ns = 50;
+  spans[1].rank = -1;  // setup span
+  spans[1].phase = obs::Phase::kLoadBalance;
+
+  auto doc = json::parse(obs::chrome_trace_json(spans));
+  const auto& events = doc->at("traceEvents").as_array();
+  int x_events = 0, m_events = 0;
+  for (const auto& ev : events) {
+    const std::string& ph = ev->at("ph").as_string();
+    if (ph == "X") {
+      ++x_events;
+      EXPECT_GE(ev->at("dur").as_number(), 0.0);
+      EXPECT_TRUE(ev->has("pid"));
+      EXPECT_TRUE(ev->has("tid"));
+    } else {
+      EXPECT_EQ(ph, "M");
+      ++m_events;
+    }
+  }
+  EXPECT_EQ(x_events, 2);
+  EXPECT_GE(m_events, 2);  // at least one track-name pair
+  // The tile-execute event carries its coordinates in the name.
+  bool found = false;
+  for (const auto& ev : events)
+    if (ev->at("ph").as_string() == "X" &&
+        ev->at("name").as_string().find("(3, 4)") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+// End-to-end: a 2-rank x 2-thread engine run with tracing on.  Checks the
+// exported timeline structurally and the counters against conservation
+// laws the scheduler must satisfy.
+TEST(ObsEndToEnd, MultiRankTraceAndConservation) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with DPGEN_TRACE=0";
+
+  // Lattice-path counting on [0,N]^2 (same recurrence as test_engine).
+  spec::ProblemSpec s;
+  s.name("paths")
+      .params({"N"})
+      .vars({"x", "y"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .constraint("y >= 0")
+      .constraint("y <= N")
+      .dep("r1", {1, 0})
+      .dep("r2", {0, 1})
+      .load_balance({"x", "y"})
+      .tile_widths({4, 4})
+      .center_code("V[loc] = 0.0;");
+  tiling::TilingModel model(s);
+  const IntVec params{15};
+
+  engine::EngineOptions opt;
+  opt.ranks = 2;
+  opt.threads = 2;
+  std::string trace_path = testing::TempDir() + "/dpgen_obs_trace.json";
+  std::string metrics_path = testing::TempDir() + "/dpgen_obs_metrics.json";
+  opt.trace_json_path = trace_path;
+  opt.metrics_json_path = metrics_path;
+
+  auto center = [](const engine::Cell& c) {
+    double v = 0.0;
+    int any = 0;
+    if (c.valid[0]) { v += c.V[c.loc_dep[0]]; any = 1; }
+    if (c.valid[1]) { v += c.V[c.loc_dep[1]]; any = 1; }
+    c.V[c.loc] = any ? v : 1.0;
+  };
+  auto result = engine::run(model, params, center, opt);
+
+  // Conservation: each rank executes exactly the tiles it owns...
+  tiling::LoadBalancer balancer(model, params, opt.ranks, opt.balance);
+  ASSERT_EQ(result.rank_stats.size(), 2u);
+  long long total_tiles = 0;
+  for (int r = 0; r < opt.ranks; ++r) {
+    EXPECT_EQ(result.rank_stats[static_cast<std::size_t>(r)].tiles_executed,
+              balancer.owned_tiles(r))
+        << "rank " << r;
+    total_tiles +=
+        result.rank_stats[static_cast<std::size_t>(r)].tiles_executed;
+  }
+  EXPECT_EQ(total_tiles, model.total_tiles(params));
+
+  // ...and every produced edge (local or remote) is delivered exactly once.
+  long long sent = 0, delivered = 0;
+  for (const auto& st : result.rank_stats) {
+    sent += st.local_edges + st.remote_edges;
+    delivered += st.table.delivered_edges;
+    EXPECT_GE(st.idle_seconds, 0.0);
+    EXPECT_GE(st.blocked_send_seconds, 0.0);
+  }
+  EXPECT_EQ(sent, delivered);
+
+  // The exported trace parses, and has one tile-execute X event per
+  // executed tile with sane timestamps and rank/thread track ids.
+  auto doc = json::parse(read_file(trace_path));
+  long long tile_events = 0;
+  std::set<std::pair<int, int>> tracks;
+  for (const auto& ev : doc->at("traceEvents").as_array()) {
+    if (ev->at("ph").as_string() != "X") continue;
+    EXPECT_GE(ev->at("ts").as_number(), 0.0);
+    EXPECT_GE(ev->at("dur").as_number(), 0.0);
+    int pid = static_cast<int>(ev->at("pid").as_number());
+    int tid = static_cast<int>(ev->at("tid").as_number());
+    if (ev->at("cat").as_string() == "tile_execute") {
+      ++tile_events;
+      EXPECT_TRUE(pid == 0 || pid == 1) << "unexpected rank track " << pid;
+      tracks.insert({pid, tid});
+    }
+  }
+  EXPECT_EQ(tile_events, model.total_tiles(params));
+  EXPECT_GT(tracks.size(), 1u) << "expected multiple rank x thread tracks";
+
+  // The metrics dump parses and covers the runtime counters.
+  auto metrics = json::parse(read_file(metrics_path));
+  EXPECT_GE(metrics->at("counters").at("runtime.tiles_executed").as_number(),
+            static_cast<double>(model.total_tiles(params)));
+  EXPECT_TRUE(metrics->at("histograms").has("runtime.tile_latency_ns"));
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  // Tracing must be switched back off after the traced run.
+  EXPECT_FALSE(obs::Tracer::instance().enabled());
+}
+
+// A second run without tracing must not grow the merged span set.
+TEST(ObsEndToEnd, UntracedRunRecordsNothing) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+
+  spec::ProblemSpec s;
+  s.name("countdown")
+      .params({"N"})
+      .vars({"x"})
+      .constraint("x >= 0")
+      .constraint("x <= N")
+      .dep("r1", {1})
+      .load_balance({"x"})
+      .tile_widths({4})
+      .center_code("V[loc] = 0.0;");
+  tiling::TilingModel model(s);
+  auto center = [](const engine::Cell& c) {
+    c.V[c.loc] = c.valid[0] ? c.V[c.loc_dep[0]] + 1.0 : 1.0;
+  };
+  engine::EngineOptions opt;
+  opt.ranks = 2;
+  auto result = engine::run(model, {31}, center, opt);
+  EXPECT_EQ(result.total(&runtime::RunStats::tiles_executed),
+            model.total_tiles({31}));
+  EXPECT_TRUE(tracer.collect_all().empty());
+  EXPECT_TRUE(tracer.merged().empty());
+}
+
+}  // namespace
+}  // namespace dpgen
