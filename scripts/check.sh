@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Full local verification: configure, build, run the test suite and the
-# figure-reproduction benches, then two extra build flavours —
+# figure-reproduction benches, then three extra build flavours —
 #   * ThreadSanitizer over the concurrency-heavy suites (the runtime,
 #     comm layer and tracer are lock-free on their hot paths),
 #   * a -DDPGEN_TRACE=0 build proving the tracing macro path compiles
-#     and the suite still passes with every span compiled out.
+#     and the suite still passes with every span compiled out,
+#   * a Release (-O2 -DNDEBUG) build-and-bench smoke: bench_hotpath with
+#     --json, archived under bench-archive/ — the numbers BENCH_hotpath.json
+#     tracks across commits.
 # Usage: scripts/check.sh [--quick]   (--quick skips benches and flavours)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,13 +33,23 @@ if [[ "${1:-}" != "--quick" ]]; then
     -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
-    test_engine
+    test_engine test_hotpath
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export'
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
   cmake -B build-notrace -G Ninja -DDPGEN_TRACE=OFF
   cmake --build build-notrace
   ctest --test-dir build-notrace --output-on-failure
+
+  echo "==== Release bench smoke (hot-path throughput)"
+  cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release --target bench_hotpath
+  mkdir -p bench-archive
+  stamp="$(date +%Y%m%d-%H%M%S)"
+  build-release/bench/bench_hotpath \
+    --json "bench-archive/hotpath-${stamp}.json" \
+    --benchmark_filter=BM_TableDeliverPop
+  echo "archived bench-archive/hotpath-${stamp}.json"
 fi
 echo "all checks passed"

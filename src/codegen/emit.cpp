@@ -155,6 +155,32 @@ void emit_count(Writer& w, const poly::LoopNest& nest,
   rec(w, 0);
 }
 
+void emit_scan_coalesced(
+    Writer& w, const poly::LoopNest& nest,
+    const std::vector<std::string>& names,
+    const std::function<void(Writer&, const std::string&)>& body) {
+  DPGEN_CHECK(nest.levels() >= 1,
+              "emit_scan_coalesced needs at least one level");
+  const int last = nest.levels() - 1;
+
+  std::function<void(Writer&, int)> rec = [&](Writer& ww, int level) {
+    const std::string& v =
+        names[static_cast<std::size_t>(nest.var_at(level))];
+    ww.line(cat("const long long dp_lo_", v, " = ",
+                level_lo_cpp(nest, level, names), ";"));
+    ww.line(cat("const long long dp_hi_", v, " = ",
+                level_hi_cpp(nest, level, names), ";"));
+    if (level == last) {
+      body(ww, v);
+      return;
+    }
+    Block loop(ww, cat("for (long long ", v, " = dp_lo_", v, "; ", v,
+                       " <= dp_hi_", v, "; ++", v, ")"));
+    rec(ww, level + 1);
+  };
+  rec(w, 0);
+}
+
 std::string system_test_cpp(const poly::System& sys,
                             const std::vector<std::string>& names) {
   if (sys.empty()) return "true";

@@ -76,6 +76,17 @@ void emit_count(Writer& w, const poly::LoopNest& nest,
                 const std::vector<std::string>& names,
                 const std::string& accum);
 
+/// Emits the outer loops of `nest` but leaves the innermost level as a
+/// [dp_lo_v, dp_hi_v] range: `body(w, v)` runs with those two bounds
+/// declared and `v` naming the innermost variable (not declared — the body
+/// handles the whole range at once, e.g. as one memcpy).  This is the
+/// emitted form of the run-coalesced pack/unpack: when the innermost
+/// variable has buffer stride 1, each range is one contiguous run.
+void emit_scan_coalesced(
+    Writer& w, const poly::LoopNest& nest,
+    const std::vector<std::string>& names,
+    const std::function<void(Writer&, const std::string&)>& body);
+
 /// Renders a conjunction testing every constraint of `sys` (1 when empty).
 std::string system_test_cpp(const poly::System& sys,
                             const std::vector<std::string>& names);

@@ -48,11 +48,14 @@ class ModelHooks final : public runtime::ProblemHooks<double> {
   const IntVec& edge_offset(int edge) const override {
     return model_.edges()[static_cast<std::size_t>(edge)].offset;
   }
+  Int edge_capacity(int edge) const override {
+    return model_.edges()[static_cast<std::size_t>(edge)].capacity;
+  }
   bool tile_exists(const IntVec& tile) const override {
     return model_.tile_in_space(params_, tile);
   }
   int dep_count(const IntVec& tile) const override {
-    return static_cast<int>(model_.deps_of(params_, tile).size());
+    return model_.num_deps_of(params_, tile);
   }
   void initial_tiles(std::vector<IntVec>& out) const override {
     model_.for_each_initial_tile(params_,
@@ -131,7 +134,7 @@ class ModelHooks final : public runtime::ProblemHooks<double> {
   }
 
   Int pack(int edge, const IntVec& producer, const double* buffer,
-           std::vector<double>& out) const override {
+           double* out) const override {
     return detail::pack_interpreted(model_, params_, edge, producer, buffer,
                                     out);
   }

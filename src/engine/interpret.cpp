@@ -1,6 +1,7 @@
 #include "engine/interpret.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/error.hpp"
 
@@ -15,9 +16,14 @@ void execute_tile_interpreted(const tiling::TilingModel& model,
   const auto& deps = model.problem().deps();
   const auto ndeps = deps.size();
 
-  std::vector<Int> loc_dep(ndeps);
-  std::vector<unsigned char> valid(ndeps);
-  IntVec orig_point(static_cast<std::size_t>(p + d));
+  // Per-thread scratch: execute runs once per tile on the hot path and
+  // must not allocate in steady state.
+  thread_local std::vector<Int> loc_dep;
+  thread_local std::vector<unsigned char> valid;
+  thread_local IntVec orig_point;
+  loc_dep.assign(ndeps, 0);
+  valid.assign(ndeps, 0);
+  orig_point.assign(static_cast<std::size_t>(p + d), 0);
   std::copy(params.begin(), params.end(), orig_point.begin());
 
   unsigned char decision_slot = 0;
@@ -28,7 +34,7 @@ void execute_tile_interpreted(const tiling::TilingModel& model,
   cell.params = params.data();
   cell.decision = &decision_slot;
 
-  model.for_each_cell(
+  model.for_each_cell_fast(
       params, tile, [&](const IntVec& local, const IntVec& global) {
         cell.loc = model.local_index(local);
         for (std::size_t j = 0; j < ndeps; ++j)
@@ -48,27 +54,40 @@ void unpack_interpreted(const tiling::TilingModel& model,
                         const IntVec& params, int edge,
                         const IntVec& producer, const double* data,
                         Int count, double* buffer) {
-  const auto& w = model.problem().widths();
-  const IntVec& delta = model.edges()[static_cast<std::size_t>(edge)].offset;
-  Int idx = 0;
-  IntVec ghost(static_cast<std::size_t>(model.dim()));
-  model.for_each_pack_cell(params, producer, edge, [&](const IntVec& j) {
-    DPGEN_ASSERT(idx < count);
-    for (std::size_t k = 0; k < ghost.size(); ++k)
-      ghost[k] = j[k] + w[k] * delta[k];
-    buffer[model.local_index(ghost)] = data[idx++];
+  // The consumer-side ghost index of a pack cell is its producer-local
+  // index plus a per-edge constant, so every producer run is also one
+  // contiguous ghost run.
+  const Int shift = model.edge_unpack_shift(edge);
+  Int pos = 0;
+  model.for_each_pack_run(params, producer, edge, [&](Int start, Int len) {
+    DPGEN_ASSERT(pos + len <= count);
+    std::memcpy(buffer + start + shift, data + pos,
+                static_cast<std::size_t>(len) * sizeof(double));
+    pos += len;
   });
-  DPGEN_CHECK(idx == count, "unpack: edge payload length mismatch");
+  DPGEN_CHECK(pos == count, "unpack: edge payload length mismatch");
+}
+
+Int pack_interpreted(const tiling::TilingModel& model, const IntVec& params,
+                     int edge, const IntVec& producer, const double* buffer,
+                     double* out) {
+  Int n = 0;
+  model.for_each_pack_run(params, producer, edge, [&](Int start, Int len) {
+    std::memcpy(out + n, buffer + start,
+                static_cast<std::size_t>(len) * sizeof(double));
+    n += len;
+  });
+  return n;
 }
 
 Int pack_interpreted(const tiling::TilingModel& model, const IntVec& params,
                      int edge, const IntVec& producer, const double* buffer,
                      std::vector<double>& out) {
-  out.clear();
-  model.for_each_pack_cell(params, producer, edge, [&](const IntVec& j) {
-    out.push_back(buffer[model.local_index(j)]);
-  });
-  return static_cast<Int>(out.size());
+  out.resize(static_cast<std::size_t>(
+      model.edges()[static_cast<std::size_t>(edge)].capacity));
+  Int n = pack_interpreted(model, params, edge, producer, buffer, out.data());
+  out.resize(static_cast<std::size_t>(n));
+  return n;
 }
 
 IntVec tile_of(const tiling::TilingModel& model, const IntVec& point) {

@@ -17,13 +17,21 @@ void execute_tile_interpreted(const tiling::TilingModel& model,
                               std::vector<unsigned char>* decisions = nullptr);
 
 /// Writes a packed edge (producer-side canonical order) into the consumer
-/// tile buffer's ghost cells.
+/// tile buffer's ghost cells, one memcpy per contiguous run.
 void unpack_interpreted(const tiling::TilingModel& model,
                         const IntVec& params, int edge,
                         const IntVec& producer, const double* data,
                         Int count, double* buffer);
 
-/// Packs the producer-side cells of `edge` from `buffer` into out.
+/// Packs the producer-side cells of `edge` from `buffer` into `out` (room
+/// for at least model.edges()[edge].capacity scalars), one memcpy per
+/// contiguous run; returns the number of scalars packed.
+Int pack_interpreted(const tiling::TilingModel& model, const IntVec& params,
+                     int edge, const IntVec& producer, const double* buffer,
+                     double* out);
+
+/// Convenience overload packing into a vector (sized to capacity, then
+/// trimmed); used by recovery and tests.
 Int pack_interpreted(const tiling::TilingModel& model, const IntVec& params,
                      int edge, const IntVec& producer, const double* buffer,
                      std::vector<double>& out);

@@ -77,6 +77,32 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   box.not_empty.notify_one();
 }
 
+void Comm::send(int dst, int tag, std::vector<std::uint8_t>&& payload) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  const std::size_t bytes = payload.size();
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload = std::move(payload);
+
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+    ++blocked_sends_;
+    blocked_counter().increment();
+    obs::ScopedSpan span(obs::Phase::kBlockedSend);
+    box.not_full.wait(
+        lock, [&] { return box.queue.size() < world_->capacity_; });
+  }
+  box.queue.push_back(std::move(m));
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  messages_counter().increment();
+  bytes_counter().add(static_cast<std::int64_t>(bytes));
+  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+  box.not_empty.notify_one();
+}
+
 bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
   auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
@@ -91,6 +117,30 @@ bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   m.tag = tag;
   const auto* p = static_cast<const std::uint8_t*>(data);
   m.payload.assign(p, p + bytes);
+  box.queue.push_back(std::move(m));
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  messages_counter().increment();
+  bytes_counter().add(static_cast<std::int64_t>(bytes));
+  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+  box.not_empty.notify_one();
+  return true;
+}
+
+bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+    ++blocked_sends_;
+    blocked_counter().increment();
+    return false;
+  }
+  const std::size_t bytes = payload.size();
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload = std::move(payload);
   box.queue.push_back(std::move(m));
   ++messages_sent_;
   bytes_sent_ += bytes;

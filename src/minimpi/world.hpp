@@ -86,12 +86,24 @@ class Comm {
   /// destination mailbox is at capacity (capacity 0 = unbounded).
   void send(int dst, int tag, const void* data, std::size_t bytes);
 
+  /// Move-in variant: the payload vector's heap storage becomes the
+  /// mailbox Message's, with no intermediate copy (the MPI analogue is a
+  /// buffer handed to MPI_Send and reused after return; here ownership
+  /// transfers outright, which is what lets the runtime pool wire
+  /// buffers end to end).
+  void send(int dst, int tag, std::vector<std::uint8_t>&& payload);
+
   /// Non-blocking send: returns false (without sending) when the
   /// destination mailbox is at capacity.  Callers that hold work to do —
   /// like the tile worker loop — use this and service their own mailbox
   /// while waiting, which avoids cyclic send deadlocks under small buffer
   /// budgets.
   bool try_send(int dst, int tag, const void* data, std::size_t bytes);
+
+  /// Move-in variant of try_send: on success the payload is moved into
+  /// the mailbox (and left empty); on failure it is untouched, so a
+  /// retry loop keeps using the same buffer.
+  bool try_send(int dst, int tag, std::vector<std::uint8_t>& payload);
 
   /// True when a message is waiting; fills src/tag when non-null.
   bool iprobe(int* src = nullptr, int* tag = nullptr);

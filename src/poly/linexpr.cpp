@@ -41,11 +41,6 @@ LinExpr LinExpr::term(int nvars, int idx, Int coef) {
   return e;
 }
 
-Int LinExpr::eval(const IntVec& point) const {
-  DPGEN_ASSERT(point.size() == coeffs.size());
-  return add_ck(vec_dot(coeffs, point), c);
-}
-
 LinExpr LinExpr::operator-() const {
   LinExpr r(nvars());
   for (std::size_t i = 0; i < coeffs.size(); ++i) r.coeffs[i] = neg_ck(coeffs[i]);

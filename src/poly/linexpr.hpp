@@ -59,8 +59,13 @@ struct LinExpr {
   /// True when all coefficients are zero.
   bool is_constant() const { return vec_is_zero(coeffs); }
 
-  /// Value at an integer point (point.size() == nvars()).
-  Int eval(const IntVec& point) const;
+  /// Value at an integer point (point.size() == nvars()).  Inline: this is
+  /// the innermost operation of every bound/validity evaluation in the
+  /// runtime hot path.
+  Int eval(const IntVec& point) const {
+    DPGEN_ASSERT(point.size() == coeffs.size());
+    return add_ck(vec_dot(coeffs, point), c);
+  }
 
   /// Coefficient of variable idx.
   Int coef(int idx) const { return coeffs[static_cast<std::size_t>(idx)]; }

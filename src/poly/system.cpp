@@ -28,14 +28,6 @@ void System::add(Constraint c) {
   cs_.push_back(std::move(c));
 }
 
-bool System::contains(const IntVec& point) const {
-  for (const auto& c : cs_) {
-    Int v = c.e.eval(point);
-    if (c.rel == Rel::Ge ? v < 0 : v != 0) return false;
-  }
-  return true;
-}
-
 void System::normalize() {
   for (auto& c : cs_) {
     Int g = 0;

@@ -46,7 +46,15 @@ class System {
   void add(Constraint c);
 
   /// True if the point satisfies every constraint (point.size() == nvars).
-  bool contains(const IntVec& point) const;
+  /// Inline: tile_in_space / dependency counting run this per edge in the
+  /// runtime hot path.
+  bool contains(const IntVec& point) const {
+    for (const auto& c : cs_) {
+      Int v = c.e.eval(point);
+      if (c.rel == Rel::Ge ? v < 0 : v != 0) return false;
+    }
+    return true;
+  }
 
   /// gcd-reduces each constraint.  For inequalities the constant is
   /// tightened toward the feasible side (a.x + c >= 0 with gcd(a)=g becomes

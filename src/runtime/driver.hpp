@@ -17,6 +17,14 @@
 // the interpreted engine implements them by walking the TilingModel, and
 // generated programs implement them with emitted loop nests.
 //
+// The steady-state loop is allocation-free: payload vectors cycle through
+// a per-worker BufferPool (unpack releases feed the very next pack
+// acquires), remote edges are packed straight into a pooled wire buffer
+// after a reserved header and moved into the mailbox, and received wire
+// buffers are recycled for the next send.  Pool misses are counted as
+// `runtime.edge_alloc` and hits as `runtime.pool_hit`, so the claim shows
+// up in the metrics rather than relying on code reading.
+//
 // Worker threads are std::threads by default; when compiled with OpenMP
 // and DPGEN_RUNTIME_USE_OPENMP (as generated programs are), the workers
 // run inside an OpenMP parallel region instead, making the program a true
@@ -43,6 +51,7 @@
 #include "obs/gather.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/tile_table.hpp"
 
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
@@ -66,6 +75,9 @@ class ProblemHooks {
   /// Tile edges (distinct tile-dependency offsets).
   virtual int num_edges() const = 0;
   virtual const IntVec& edge_offset(int edge) const = 0;
+  /// Upper bound on the scalars `edge` can carry (any producer tile); the
+  /// driver sizes pack destinations with it before calling pack().
+  virtual Int edge_capacity(int edge) const = 0;
 
   /// True when the tile exists (is inside the tile space).
   virtual bool tile_exists(const IntVec& tile) const = 0;
@@ -86,10 +98,11 @@ class ProblemHooks {
     (void)buffer;
   }
 
-  /// Packs the producer-side cells of `edge` from `buffer` into out
-  /// (cleared first); returns the number of scalars packed.
+  /// Packs the producer-side cells of `edge` from `buffer` into `out`
+  /// (room for at least edge_capacity(edge) scalars); returns the number
+  /// of scalars packed.
   virtual Int pack(int edge, const IntVec& producer, const S* buffer,
-                   std::vector<S>& out) const = 0;
+                   S* out) const = 0;
   /// Unpacks edge data into the consumer tile's buffer ghost cells;
   /// `producer` identifies the tile the data came from.
   virtual void unpack(int edge, const IntVec& producer, const S* data,
@@ -117,6 +130,10 @@ struct RunStats {
   long long remote_edges = 0;    // sent through the comm layer
   long long polls = 0;
   long long idle_spins = 0;
+  /// Buffer-pool misses (each one a real heap allocation on the edge
+  /// path) and hits; in steady state every acquire should be a hit.
+  long long edge_allocs = 0;
+  long long pool_hits = 0;
   double init_scan_seconds = 0.0;
   double total_seconds = 0.0;
   /// Wall time this rank's workers spent with no ready tile (includes the
@@ -132,41 +149,79 @@ struct RunStats {
 
 namespace detail {
 
-/// Wire format of one edge message: [edge, count, consumer tile coords,
-/// payload scalars].
+// Wire format of one edge message: [edge, count, consumer tile coords,
+// payload scalars].  The header length is a multiple of sizeof(Int), so
+// the payload region is suitably aligned for the scalar type.
+
+inline std::size_t edge_wire_header(int dim) {
+  return sizeof(Int) * (2 + static_cast<std::size_t>(dim));
+}
+
+/// Sizes `buf` for a payload of up to `capacity` scalars after the header
+/// and returns the payload write pointer; pack fills it in place and
+/// finish_edge_wire() then trims and stamps the header — no intermediate
+/// scratch-to-wire copy.
 template <typename S>
-std::vector<std::uint8_t> encode_edge(int edge, const IntVec& consumer,
-                                      const std::vector<S>& payload) {
-  const std::size_t head = sizeof(Int) * (2 + consumer.size());
-  std::vector<std::uint8_t> buf(head + payload.size() * sizeof(S));
-  Int header[2] = {static_cast<Int>(edge),
-                   static_cast<Int>(payload.size())};
-  std::memcpy(buf.data(), header, sizeof(header));
-  std::memcpy(buf.data() + sizeof(header), consumer.data(),
-              consumer.size() * sizeof(Int));
-  if (!payload.empty())
-    std::memcpy(buf.data() + head, payload.data(),
-                payload.size() * sizeof(S));
-  return buf;
+S* begin_edge_wire(std::vector<std::uint8_t>& buf, int dim, Int capacity) {
+  const std::size_t head = edge_wire_header(dim);
+  buf.resize(head + static_cast<std::size_t>(capacity) * sizeof(S));
+  return reinterpret_cast<S*>(buf.data() + head);
 }
 
 template <typename S>
-void decode_edge(const std::vector<std::uint8_t>& buf, int dim, int* edge,
-                 IntVec* consumer, std::vector<S>* payload) {
+void finish_edge_wire(std::vector<std::uint8_t>& buf, int edge,
+                      const IntVec& consumer, Int count) {
+  const std::size_t head =
+      edge_wire_header(static_cast<int>(consumer.size()));
+  buf.resize(head + static_cast<std::size_t>(count) * sizeof(S));
+  Int header[2] = {static_cast<Int>(edge), count};
+  std::memcpy(buf.data(), header, sizeof(header));
+  std::memcpy(buf.data() + sizeof(header), consumer.data(),
+              consumer.size() * sizeof(Int));
+}
+
+template <typename S>
+std::vector<std::uint8_t> encode_edge(int edge, const IntVec& consumer,
+                                      const std::vector<S>& payload) {
+  std::vector<std::uint8_t> buf;
+  S* out = begin_edge_wire<S>(buf, static_cast<int>(consumer.size()),
+                              static_cast<Int>(payload.size()));
+  if (!payload.empty())
+    std::memcpy(out, payload.data(), payload.size() * sizeof(S));
+  finish_edge_wire<S>(buf, edge, consumer,
+                      static_cast<Int>(payload.size()));
+  return buf;
+}
+
+/// Decodes one edge message, validating every header field against the
+/// receiver's own geometry before trusting it: `num_edges` bounds the edge
+/// index and the payload count must be non-negative and match the buffer
+/// length exactly (checked without overflowing).
+template <typename S>
+void decode_edge(const std::vector<std::uint8_t>& buf, int dim,
+                 int num_edges, int* edge, IntVec* consumer,
+                 std::vector<S>* payload) {
   Int header[2];
   DPGEN_CHECK(buf.size() >= sizeof(header), "malformed edge message");
   std::memcpy(header, buf.data(), sizeof(header));
-  *edge = static_cast<int>(header[0]);
-  auto count = static_cast<std::size_t>(header[1]);
+  DPGEN_CHECK(header[0] >= 0 && header[0] < num_edges,
+              cat("edge message: edge index ", header[0], " outside [0, ",
+                  num_edges, ")"));
   consumer->resize(static_cast<std::size_t>(dim));
-  const std::size_t head = sizeof(Int) * (2 + consumer->size());
+  const std::size_t head = edge_wire_header(dim);
+  DPGEN_CHECK(buf.size() >= head, "malformed edge message");
+  DPGEN_CHECK(header[1] >= 0 &&
+                  static_cast<std::uint64_t>(header[1]) <=
+                      (buf.size() - head) / sizeof(S),
+              cat("edge message: bad payload count ", header[1]));
+  const auto count = static_cast<std::size_t>(header[1]);
   DPGEN_CHECK(buf.size() == head + count * sizeof(S),
               "edge message length mismatch");
+  *edge = static_cast<int>(header[0]);
   std::memcpy(consumer->data(), buf.data() + sizeof(header),
               consumer->size() * sizeof(Int));
-  payload->resize(count);
-  if (count)
-    std::memcpy(payload->data(), buf.data() + head, count * sizeof(S));
+  const S* src = reinterpret_cast<const S*>(buf.data() + head);
+  payload->assign(src, src + count);
 }
 
 /// Bounded exponential backoff for the driver's wait loops.  The first
@@ -213,6 +268,11 @@ struct DriverMetrics {
       "runtime.idle_ns");
   obs::Counter& blocked_send_ns = obs::MetricsRegistry::instance().counter(
       "runtime.blocked_send_ns");
+  /// Buffer-pool misses (real allocations) and hits on the edge path.
+  obs::Counter& edge_alloc = obs::MetricsRegistry::instance().counter(
+      "runtime.edge_alloc");
+  obs::Counter& pool_hit = obs::MetricsRegistry::instance().counter(
+      "runtime.pool_hit");
   obs::Histogram& tile_ns = obs::MetricsRegistry::instance().histogram(
       "runtime.tile_latency_ns");
   obs::Histogram& payload_scalars =
@@ -238,9 +298,10 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   const auto t_start = Clock::now();
   const int rank = comm.rank();
   const int dim = hooks.dim();
+  const int num_edges = hooks.num_edges();
 
   obs::Tracer::set_identity(rank, 0);
-  detail::DriverMetrics metrics(hooks.num_edges());
+  detail::DriverMetrics metrics(num_edges);
 
   RunStats stats;
   ShardedTileTable<S> table(opt.order, opt.queue_shards);
@@ -266,39 +327,49 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   std::atomic<long long> progress_marker{0};
   std::mutex poll_mu;  // the paper's "poll ... if lock available"
   std::mutex stats_mu;
+  // Wire buffers are recycled rank-wide: try_recv frees a message's buffer
+  // into this pool and the next remote pack reuses it, so a pipelined
+  // exchange settles into zero wire allocations per edge.
+  detail::SharedBufferPool<std::uint8_t> wire_pool;
 
   auto expected_deps = [&](const IntVec& t) { return hooks.dep_count(t); };
-
-  auto poll = [&](RunStats& local) -> bool {
-    std::unique_lock<std::mutex> lock(poll_mu, std::try_to_lock);
-    if (!lock.owns_lock()) return false;
-    obs::ScopedSpan span(obs::Phase::kPoll);
-    bool got = false;
-    while (auto msg = comm.try_recv()) {
-      int edge = -1;
-      IntVec consumer;
-      std::vector<S> payload;
-      detail::decode_edge<S>(msg->payload, dim, &edge, &consumer, &payload);
-      table.deliver(consumer, expected_deps,
-                    EdgeData<S>{edge, std::move(payload)});
-      got = true;
-    }
-    ++local.polls;
-    return got;
-  };
 
   auto worker = [&](int worker_id) {
     obs::Tracer::set_identity(rank, worker_id);
     const int preferred_shard = worker_id % table.shards();
     RunStats local;
     std::vector<S> buffer(static_cast<std::size_t>(hooks.buffer_size()));
-    std::vector<S> scratch;
+    // Payload vectors cycle worker-locally: each tile's unpack releases
+    // exactly the buffers its packs then re-acquire, so after warm-up
+    // every acquire is a pool hit.
+    detail::BufferPool<S> payload_pool;
+    IntVec consumer(static_cast<std::size_t>(dim));
+    IntVec producer(static_cast<std::size_t>(dim));
+    IntVec poll_consumer;
     long long seen_marker = progress_marker.load();
     auto seen_time = Clock::now();
     detail::Backoff backoff;
     // Set while in an idle stretch (no ready tile): its start time.
     bool idling = false;
     auto idle_since = Clock::now();
+
+    auto poll = [&]() -> bool {
+      std::unique_lock<std::mutex> lock(poll_mu, std::try_to_lock);
+      if (!lock.owns_lock()) return false;
+      obs::ScopedSpan span(obs::Phase::kPoll);
+      bool got = false;
+      while (auto msg = comm.try_recv()) {
+        EdgeData<S> ed;
+        ed.payload = payload_pool.acquire();
+        detail::decode_edge<S>(msg->payload, dim, num_edges, &ed.edge,
+                               &poll_consumer, &ed.payload);
+        wire_pool.release(std::move(msg->payload));
+        table.deliver(poll_consumer, expected_deps, std::move(ed));
+        got = true;
+      }
+      ++local.polls;
+      return got;
+    };
 
     while (done.load(std::memory_order_acquire) < owned) {
       auto ready = table.pop(preferred_shard);
@@ -308,7 +379,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
           idling = true;
           idle_since = Clock::now();
         }
-        if (poll(local)) {
+        if (poll()) {
           progress_marker.fetch_add(1);
           backoff.reset();
         }
@@ -344,7 +415,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       }
       progress_marker.fetch_add(1, std::memory_order_relaxed);
 
-      // 2. fresh buffer + unpack stored edges
+      // 2. fresh buffer + unpack stored edges (payloads go back to the
+      // pool, where step 4's packs pick them straight up again)
       {
         obs::ScopedSpan span(obs::Phase::kUnpack, &ready->tile);
         if constexpr (std::is_floating_point_v<S>) {
@@ -354,10 +426,15 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         } else {
           std::fill(buffer.begin(), buffer.end(), S{});
         }
-        for (const auto& e : ready->edges) {
-          IntVec producer = vec_add(ready->tile, hooks.edge_offset(e.edge));
+        for (auto& e : ready->edges) {
+          const IntVec& off = hooks.edge_offset(e.edge);
+          for (int k = 0; k < dim; ++k)
+            producer[static_cast<std::size_t>(k)] =
+                add_ck(ready->tile[static_cast<std::size_t>(k)],
+                       off[static_cast<std::size_t>(k)]);
           hooks.unpack(e.edge, producer, e.payload.data(),
                        static_cast<Int>(e.payload.size()), buffer.data());
+          payload_pool.release(std::move(e.payload));
         }
       }
 
@@ -375,23 +452,50 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       ++local.tiles_executed;
 
       // 4. pack and route each valid outgoing edge
-      for (int e = 0; e < hooks.num_edges(); ++e) {
-        IntVec consumer = vec_sub(ready->tile, hooks.edge_offset(e));
+      for (int e = 0; e < num_edges; ++e) {
+        const IntVec& off = hooks.edge_offset(e);
+        for (int k = 0; k < dim; ++k)
+          consumer[static_cast<std::size_t>(k)] =
+              sub_ck(ready->tile[static_cast<std::size_t>(k)],
+                     off[static_cast<std::size_t>(k)]);
         if (!hooks.tile_exists(consumer)) continue;
-        {
-          obs::ScopedSpan span(obs::Phase::kPack, &ready->tile);
-          hooks.pack(e, ready->tile, buffer.data(), scratch);
-        }
-        metrics.payload_scalars.observe(
-            static_cast<std::int64_t>(scratch.size()));
-        int dst = hooks.owner(consumer);
+        const int dst = hooks.owner(consumer);
         if (dst == rank) {
-          table.deliver(consumer, expected_deps, EdgeData<S>{e, scratch});
+          // Local edge: pack into a pooled payload vector and move it
+          // into the table — no copies anywhere on the path.
+          EdgeData<S> ed;
+          ed.edge = e;
+          ed.payload = payload_pool.acquire();
+          ed.payload.resize(
+              static_cast<std::size_t>(hooks.edge_capacity(e)));
+          Int count;
+          {
+            obs::ScopedSpan span(obs::Phase::kPack, &ready->tile);
+            count = hooks.pack(e, ready->tile, buffer.data(),
+                               ed.payload.data());
+          }
+          DPGEN_ASSERT(count >= 0 &&
+                       count <= static_cast<Int>(ed.payload.size()));
+          ed.payload.resize(static_cast<std::size_t>(count));
+          metrics.payload_scalars.observe(count);
+          table.deliver(consumer, expected_deps, std::move(ed));
           ++local.local_edges;
         } else {
+          // Remote edge: pack straight into the wire buffer after the
+          // reserved header, then move the buffer into the mailbox.
           obs::ScopedSpan span(obs::Phase::kSend, &consumer);
-          auto msg = detail::encode_edge<S>(e, consumer, scratch);
-          if (!comm.try_send(dst, e, msg.data(), msg.size())) {
+          std::vector<std::uint8_t> wire = wire_pool.acquire();
+          S* out = detail::begin_edge_wire<S>(wire, dim,
+                                              hooks.edge_capacity(e));
+          Int count;
+          {
+            obs::ScopedSpan pack_span(obs::Phase::kPack, &ready->tile);
+            count = hooks.pack(e, ready->tile, buffer.data(), out);
+          }
+          DPGEN_ASSERT(count >= 0 && count <= hooks.edge_capacity(e));
+          detail::finish_edge_wire<S>(wire, e, consumer, count);
+          metrics.payload_scalars.observe(count);
+          if (!comm.try_send(dst, e, wire)) {
             // Destination buffers full: service our own mailbox while
             // backing off, which avoids cyclic send deadlocks under
             // small buffer budgets.
@@ -399,9 +503,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             const auto t0 = Clock::now();
             detail::Backoff send_backoff;
             do {
-              poll(local);
+              poll();
               send_backoff.pause();
-            } while (!comm.try_send(dst, e, msg.data(), msg.size()));
+            } while (!comm.try_send(dst, e, wire));
             const double waited =
                 std::chrono::duration<double>(Clock::now() - t0).count();
             local.blocked_send_seconds += waited;
@@ -413,15 +517,25 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         }
       }
 
+      // 5. hand the tile's containers back to the table so the next
+      // pending slots reuse their heap storage (payloads already went to
+      // payload_pool during unpack).
+      table.recycle(std::move(*ready));
+
       done.fetch_add(1, std::memory_order_release);
       // 6. opportunistic poll
-      poll(local);
+      poll();
     }
+
+    local.pool_hits += payload_pool.hits();
+    local.edge_allocs += payload_pool.misses();
 
     metrics.tiles.add(local.tiles_executed);
     metrics.local_edges.add(local.local_edges);
     metrics.remote_edges.add(local.remote_edges);
     metrics.polls.add(local.polls);
+    metrics.pool_hit.add(local.pool_hits);
+    metrics.edge_alloc.add(local.edge_allocs);
 
     std::lock_guard<std::mutex> lock(stats_mu);
     stats.tiles_executed += local.tiles_executed;
@@ -429,6 +543,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     stats.remote_edges += local.remote_edges;
     stats.polls += local.polls;
     stats.idle_spins += local.idle_spins;
+    stats.edge_allocs += local.edge_allocs;
+    stats.pool_hits += local.pool_hits;
     stats.idle_seconds += local.idle_seconds;
     stats.blocked_send_seconds += local.blocked_send_seconds;
   };
@@ -445,6 +561,11 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     for (auto& t : threads) t.join();
   }
 #endif
+
+  stats.edge_allocs += wire_pool.misses();
+  stats.pool_hits += wire_pool.hits();
+  metrics.edge_alloc.add(wire_pool.misses());
+  metrics.pool_hit.add(wire_pool.hits());
 
   obs::Tracer::set_identity(rank, 0);
   {

@@ -9,15 +9,25 @@
 //   * the ready queue holds tiles whose dependencies are all satisfied,
 //     ordered by the TileOrder priority (Fig. 5).
 //
-// Both are guarded by one mutex; the paper notes contention on these
-// structures has not been a bottleneck, and it is not here either.
+// Both are flat, allocation-light structures: the ready queue is a binary
+// heap over a contiguous vector (std::push_heap/pop_heap with the TileOrder
+// comparator — same pop order as the old std::map, without a node
+// allocation per ready tile), and the pending table is an open-addressing
+// linear-probe map keyed by a hash the caller computes once (the sharded
+// wrapper reuses it for shard selection, so each delivery hashes its tile
+// exactly once).  Tombstoned slots keep their vectors' heap storage, so a
+// busy table stops allocating once it reaches steady state.
+//
+// Both are guarded by one mutex per shard; the paper notes contention on
+// these structures has not been a bottleneck, and it is not here either.
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "runtime/order.hpp"
@@ -51,31 +61,71 @@ struct TableStats {
 };
 
 namespace detail {
-/// Process-wide ready-queue depth gauge (its max is the useful signal;
-/// the instantaneous value mixes shards and ranks).
+/// Process-wide ready-queue depth gauge.  Fed the rank-level aggregate
+/// depth (summed across a table's shards), so its instantaneous value is a
+/// real per-rank queue depth and its max a real per-rank peak.
 inline obs::Gauge& ready_depth_gauge() {
   static obs::Gauge& g =
       obs::MetricsRegistry::instance().gauge("runtime.ready_queue_depth");
   return g;
 }
+
+/// Second hash round applied before probing.  Shard selection consumes the
+/// low bits of the tile hash (h % shards), so every tile landing in one
+/// shard shares them; scrambling keeps those keys from clustering into
+/// every shards-th probe slot.
+inline std::size_t scramble_hash(std::size_t h) {
+  std::uint64_t x = h;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
 }  // namespace detail
+
+/// Rank-level ready-queue depth, shared by all shards of one table so the
+/// exported gauge and the TableStats peak describe the rank's real queue
+/// depth rather than a per-shard (or summed-peaks) approximation.
+class ReadyDepthAgg {
+ public:
+  void add(long long delta) {
+    long long cur = depth_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) {
+      long long peak = peak_.load(std::memory_order_relaxed);
+      while (cur > peak &&
+             !peak_.compare_exchange_weak(peak, cur,
+                                          std::memory_order_relaxed)) {
+      }
+    }
+    detail::ready_depth_gauge().set(cur);
+  }
+
+  long long peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> depth_{0};
+  std::atomic<long long> peak_{0};
+};
 
 template <typename S>
 class TileTable {
  public:
-  explicit TileTable(const TileOrder& order)
-      : order_(order), ready_(order_.less()) {}
+  /// `depth` aggregates ready-queue depth across shards; when null the
+  /// table tracks its own (single-shard use and tests).
+  explicit TileTable(const TileOrder& order, ReadyDepthAgg* depth = nullptr)
+      : order_(order), depth_(depth ? depth : &own_depth_) {
+    slots_.resize(kInitialSlots);
+  }
 
-  // The ready queue's comparator points at order_; pinning the table keeps
-  // that pointer valid.
+  // The heap comparator and depth aggregate point into the table; pinning
+  // it keeps those references valid.
   TileTable(const TileTable&) = delete;
   TileTable& operator=(const TileTable&) = delete;
 
   /// Seeds a dependency-free (initial) tile straight into the ready queue.
   void seed_ready(IntVec tile) {
     std::lock_guard<std::mutex> lock(mu_);
-    ready_.emplace(std::move(tile), std::vector<EdgeData<S>>{});
-    note_ready_depth();
+    push_ready(std::move(tile), {});
   }
 
   /// Delivers one edge for `tile`.  On first sight of the tile,
@@ -84,16 +134,58 @@ class TileTable {
   template <typename ExpectedFn>
   void deliver(const IntVec& tile, ExpectedFn&& expected_deps,
                EdgeData<S> edge) {
+    deliver_hashed(tile, IntVecHash{}(tile),
+                   std::forward<ExpectedFn>(expected_deps), std::move(edge));
+  }
+
+  /// Fast path: the caller supplies IntVecHash{}(tile), computed once and
+  /// shared with shard selection.
+  template <typename ExpectedFn>
+  void deliver_hashed(const IntVec& tile, std::size_t tile_hash,
+                      ExpectedFn&& expected_deps, EdgeData<S> edge) {
+    const std::size_t hash = detail::scramble_hash(tile_hash);
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(tile);
-    if (it == pending_.end()) {
-      int expected = expected_deps(tile);
-      DPGEN_ASSERT(expected >= 1);
-      it = pending_.emplace(tile, Pending{expected, {}}).first;
-      stats_.peak_pending_tiles =
-          std::max(stats_.peak_pending_tiles,
-                   static_cast<long long>(pending_.size()));
+    grow_if_needed();
+
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash & mask;
+    Slot* slot = nullptr;
+    Slot* reuse = nullptr;  // first tombstone crossed while probing
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) break;
+      if (s.state == kTombstone) {
+        if (!reuse) reuse = &s;
+      } else if (s.hash == hash && s.tile == tile) {
+        slot = &s;
+        break;
+      }
+      i = (i + 1) & mask;
     }
+    if (!slot) {
+      const int expected = expected_deps(tile);
+      DPGEN_ASSERT(expected >= 1);
+      slot = reuse ? reuse : &slots_[i];
+      if (slot->state == kTombstone) --tombstones_;
+      slot->hash = hash;
+      if (slot->tile.capacity() == 0 && !spares_.empty()) {
+        // The slot's vectors were moved out when its last tile went ready;
+        // refill from a recycled pair so the assign/reserve below reuse
+        // heap storage instead of allocating.
+        slot->tile = std::move(spares_.back().tile);
+        slot->edges = std::move(spares_.back().edges);
+        spares_.pop_back();
+      }
+      slot->tile.assign(tile.begin(), tile.end());
+      slot->edges.clear();
+      slot->edges.reserve(static_cast<std::size_t>(expected));
+      slot->waiting = expected;
+      slot->state = kOccupied;
+      ++size_;
+      stats_.peak_pending_tiles =
+          std::max(stats_.peak_pending_tiles, size_);
+    }
+
     cur_edges_ += 1;
     cur_scalars_ += static_cast<long long>(edge.payload.size());
     stats_.peak_buffered_edges =
@@ -102,11 +194,14 @@ class TileTable {
         std::max(stats_.peak_buffered_scalars, cur_scalars_);
     ++stats_.delivered_edges;
 
-    it->second.edges.push_back(std::move(edge));
-    if (--it->second.waiting == 0) {
-      ready_.emplace(tile, std::move(it->second.edges));
-      pending_.erase(it);
-      note_ready_depth();
+    slot->edges.push_back(std::move(edge));
+    if (--slot->waiting == 0) {
+      push_ready(std::move(slot->tile), std::move(slot->edges));
+      slot->tile.clear();
+      slot->edges.clear();
+      slot->state = kTombstone;
+      ++tombstones_;
+      --size_;
     }
   }
 
@@ -114,9 +209,10 @@ class TileTable {
   std::optional<ReadyTile<S>> pop() {
     std::lock_guard<std::mutex> lock(mu_);
     if (ready_.empty()) return std::nullopt;
-    auto it = ready_.begin();
-    ReadyTile<S> out{it->first, std::move(it->second)};
-    ready_.erase(it);
+    std::pop_heap(ready_.begin(), ready_.end(), heap_before());
+    ReadyTile<S> out = std::move(ready_.back());
+    ready_.pop_back();
+    depth_->add(-1);
     for (const auto& e : out.edges) {
       cur_edges_ -= 1;
       cur_scalars_ -= static_cast<long long>(e.payload.size());
@@ -124,34 +220,88 @@ class TileTable {
     return out;
   }
 
+  /// Returns a processed tile's containers (the tile coordinates and the
+  /// edges vector — payloads are expected to have been moved out already)
+  /// so future pending slots reuse their heap storage.
+  void recycle(ReadyTile<S>&& done) {
+    done.edges.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    spares_.push_back(std::move(done));
+  }
+
   /// True when nothing is pending or ready (diagnostic only).
   bool idle() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return pending_.empty() && ready_.empty();
+    return size_ == 0 && ready_.empty();
   }
 
   TableStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    TableStats out = stats_;
+    out.peak_ready_tiles = depth_->peak();
+    return out;
   }
 
  private:
-  struct Pending {
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+  static constexpr int kEmpty = 0;
+  static constexpr int kTombstone = 1;
+  static constexpr int kOccupied = 2;
+
+  struct Slot {
+    std::size_t hash = 0;
+    int state = kEmpty;
     int waiting = 0;
+    IntVec tile;
     std::vector<EdgeData<S>> edges;
   };
 
-  /// Called under mu_ whenever a tile becomes eligible.
-  void note_ready_depth() {
-    auto depth = static_cast<long long>(ready_.size());
-    stats_.peak_ready_tiles = std::max(stats_.peak_ready_tiles, depth);
-    detail::ready_depth_gauge().set(depth);
+  /// Max-heap comparator: the heap's top is the tile the TileOrder says
+  /// runs first, so `before(a, b)` holds when a is *later* than b.
+  auto heap_before() const {
+    return [this](const ReadyTile<S>& a, const ReadyTile<S>& b) {
+      return order_.earlier(b.tile, a.tile);
+    };
+  }
+
+  /// Called under mu_.
+  void push_ready(IntVec&& tile, std::vector<EdgeData<S>>&& edges) {
+    ready_.push_back(ReadyTile<S>{std::move(tile), std::move(edges)});
+    std::push_heap(ready_.begin(), ready_.end(), heap_before());
+    stats_.peak_ready_tiles =
+        std::max(stats_.peak_ready_tiles,
+                 static_cast<long long>(ready_.size()));
+    depth_->add(1);
+  }
+
+  /// Called under mu_.  Keeps the live+tombstone load factor under 3/4 so
+  /// probe chains stay short; rehashing drops tombstones.
+  void grow_if_needed() {
+    if ((size_ + tombstones_ + 1) * 4 <= slots_.size() * 3) return;
+    std::size_t cap = slots_.size();
+    while (static_cast<std::size_t>(size_ + 1) * 4 > cap * 2) cap *= 2;
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(cap);
+    tombstones_ = 0;
+    const std::size_t mask = cap - 1;
+    for (Slot& s : old) {
+      if (s.state != kOccupied) continue;
+      std::size_t i = s.hash & mask;
+      while (slots_[i].state != kEmpty) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
   }
 
   TileOrder order_;
   mutable std::mutex mu_;
-  std::unordered_map<IntVec, Pending, IntVecHash> pending_;
-  std::map<IntVec, std::vector<EdgeData<S>>, TileOrder::Less> ready_;
+  std::vector<Slot> slots_;
+  long long size_ = 0;        // occupied slots
+  std::size_t tombstones_ = 0;
+  std::vector<ReadyTile<S>> ready_;  // binary heap ordered by heap_before()
+  std::vector<ReadyTile<S>> spares_;  // recycled (tile, edges) containers
+  ReadyDepthAgg own_depth_;
+  ReadyDepthAgg* depth_;
   TableStats stats_;
   long long cur_edges_ = 0;
   long long cur_scalars_ = 0;
@@ -170,20 +320,22 @@ class ShardedTileTable {
   ShardedTileTable(const TileOrder& order, int shards) {
     DPGEN_CHECK(shards >= 1, "need at least one queue shard");
     for (int i = 0; i < shards; ++i)
-      shards_.push_back(std::make_unique<TileTable<S>>(order));
+      shards_.push_back(std::make_unique<TileTable<S>>(order, &depth_));
   }
 
   int shards() const { return static_cast<int>(shards_.size()); }
 
   void seed_ready(IntVec tile) {
-    shard_for(tile).seed_ready(std::move(tile));
+    shard_for(IntVecHash{}(tile)).seed_ready(std::move(tile));
   }
 
   template <typename ExpectedFn>
   void deliver(const IntVec& tile, ExpectedFn&& expected_deps,
                EdgeData<S> edge) {
-    shard_for(tile).deliver(tile, std::forward<ExpectedFn>(expected_deps),
-                            std::move(edge));
+    const std::size_t h = IntVecHash{}(tile);
+    shard_for(h).deliver_hashed(tile, h,
+                                std::forward<ExpectedFn>(expected_deps),
+                                std::move(edge));
   }
 
   /// Pops from the preferred shard, stealing round-robin when empty.
@@ -202,8 +354,18 @@ class ShardedTileTable {
     return true;
   }
 
-  /// Aggregated statistics (peaks are summed over shards, so they bound
-  /// the true simultaneous peak from above).
+  /// Hands a processed tile's containers back, rotating across shards so
+  /// every shard's freelist gets a supply regardless of which workers
+  /// finish tiles.
+  void recycle(ReadyTile<S>&& done) {
+    const std::size_t i =
+        recycle_next_.fetch_add(1, std::memory_order_relaxed);
+    shards_[i % shards_.size()]->recycle(std::move(done));
+  }
+
+  /// Aggregated statistics.  Memory peaks are summed over shards (they
+  /// bound the true simultaneous peak from above); the ready peak is the
+  /// shared depth aggregate's high-water, i.e. the true rank-level peak.
   TableStats stats() const {
     TableStats total;
     for (const auto& s : shards_) {
@@ -212,16 +374,18 @@ class ShardedTileTable {
       total.peak_buffered_edges += t.peak_buffered_edges;
       total.peak_buffered_scalars += t.peak_buffered_scalars;
       total.delivered_edges += t.delivered_edges;
-      total.peak_ready_tiles += t.peak_ready_tiles;
     }
+    total.peak_ready_tiles = depth_.peak();
     return total;
   }
 
  private:
-  TileTable<S>& shard_for(const IntVec& tile) {
-    return *shards_[IntVecHash{}(tile) % shards_.size()];
+  TileTable<S>& shard_for(std::size_t hash) {
+    return *shards_[hash % shards_.size()];
   }
 
+  ReadyDepthAgg depth_;
+  std::atomic<std::size_t> recycle_next_{0};
   std::vector<std::unique_ptr<TileTable<S>>> shards_;
 };
 

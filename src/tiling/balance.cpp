@@ -61,13 +61,69 @@ LoadBalancer::LoadBalancer(const TilingModel& model, const IntVec& params,
     tiles_[static_cast<std::size_t>(rank)] += c.tiles;
     cum = add_ck(cum, c.work);
   }
+
+  // Dense owner table over the cells' bounding box, unless the box is so
+  // much larger than the cell set that the memory is not worth it.
+  if (!cells.empty()) {
+    const std::size_t nd = cells[0].lb.size();
+    IntVec lo = cells[0].lb;
+    IntVec hi = cells[0].lb;
+    for (const auto& c : cells)
+      for (std::size_t i = 0; i < nd; ++i) {
+        lo[i] = std::min(lo[i], c.lb[i]);
+        hi[i] = std::max(hi[i], c.lb[i]);
+      }
+    Int vol = 1;
+    bool ok = true;
+    for (std::size_t i = 0; i < nd && ok; ++i) {
+      vol = mul_ck(vol, hi[i] - lo[i] + 1);
+      if (vol > std::max<Int>(4096, 8 * static_cast<Int>(cells.size())))
+        ok = false;
+    }
+    if (ok) {
+      flat_lo_ = lo;
+      flat_extents_.resize(nd);
+      for (std::size_t i = 0; i < nd; ++i)
+        flat_extents_[i] = hi[i] - lo[i] + 1;
+      owner_flat_.assign(static_cast<std::size_t>(vol), -1);
+      for (const auto& [lb, rank] : owner_by_cell_) {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < nd; ++i)
+          idx = idx * static_cast<std::size_t>(flat_extents_[i]) +
+                static_cast<std::size_t>(lb[i] - flat_lo_[i]);
+        owner_flat_[idx] = rank;
+      }
+    }
+  }
 }
 
 int LoadBalancer::owner(const IntVec& tile) const {
-  if (model_.lb_dims().empty()) return 0;
-  IntVec lb(model_.lb_dims().size());
+  const auto& dims = model_.lb_dims();
+  if (dims.empty()) return 0;
+  // Called once per outgoing edge in the runtime hot path: the dense box
+  // lookup is allocation- and hash-free.
+  if (!owner_flat_.empty()) {
+    std::size_t idx = 0;
+    bool inside = true;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const Int v = tile[static_cast<std::size_t>(dims[i])] - flat_lo_[i];
+      if (v < 0 || v >= flat_extents_[i]) {
+        inside = false;
+        break;
+      }
+      idx = idx * static_cast<std::size_t>(flat_extents_[i]) +
+            static_cast<std::size_t>(v);
+    }
+    const int rank = inside ? owner_flat_[idx] : -1;
+    DPGEN_CHECK(rank >= 0,
+                cat("tile ", vec_to_string(tile),
+                    " has no load-balance cell; is it in the tile space?"));
+    return rank;
+  }
+  thread_local IntVec lb;
+  lb.assign(dims.size(), 0);
   for (std::size_t i = 0; i < lb.size(); ++i)
-    lb[i] = tile[static_cast<std::size_t>(model_.lb_dims()[i])];
+    lb[i] = tile[static_cast<std::size_t>(dims[i])];
   auto it = owner_by_cell_.find(lb);
   DPGEN_CHECK(it != owner_by_cell_.end(),
               cat("tile ", vec_to_string(tile),

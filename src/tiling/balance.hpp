@@ -51,6 +51,12 @@ class LoadBalancer {
   std::vector<Int> work_;
   std::vector<Int> tiles_;
   std::unordered_map<IntVec, int, IntVecHash> owner_by_cell_;
+  // Dense owner lookup over the lb cells' bounding box (-1 marks holes).
+  // owner() is on the per-edge runtime hot path, where the hash-map probe
+  // shows up; the box is skipped when too sparse to be worth the memory.
+  IntVec flat_lo_;
+  IntVec flat_extents_;
+  std::vector<int> owner_flat_;
 };
 
 }  // namespace dpgen::tiling

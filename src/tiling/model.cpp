@@ -223,6 +223,14 @@ TilingModel::TilingModel(spec::ProblemSpec problem) : spec_(std::move(problem)) 
     std::vector<int> i_order;
     for (int k = 0; k < d_; ++k) i_order.push_back(ext_local(k));
     pack_nests_.push_back(poly::LoopNest::build(s, i_order));
+
+    Int shift = 0;
+    for (int k = 0; k < d_; ++k) {
+      auto ks = static_cast<std::size_t>(k);
+      shift = add_ck(shift,
+                     mul_ck(strides_[ks], mul_ck(w[ks], e.offset[ks])));
+    }
+    unpack_shifts_.push_back(shift);
   }
 
   // ---- validity checks (IV.G) -------------------------------------------------
@@ -340,16 +348,24 @@ TilingModel::TilingModel(spec::ProblemSpec problem) : spec_(std::move(problem)) 
 }
 
 IntVec TilingModel::ext_seed(const IntVec& params) const {
+  IntVec seed;
+  ext_seed_into(params, seed);
+  return seed;
+}
+
+void TilingModel::ext_seed_into(const IntVec& params, IntVec& seed) const {
   DPGEN_CHECK(static_cast<int>(params.size()) == p_,
               cat("expected ", p_, " parameter values, got ", params.size()));
-  IntVec seed(static_cast<std::size_t>(ext_vars_.size()), 0);
+  seed.assign(ext_vars_.size(), 0);
   std::copy(params.begin(), params.end(), seed.begin());
-  return seed;
 }
 
 bool TilingModel::tile_in_space(const IntVec& params, const IntVec& tile) const {
   DPGEN_ASSERT(static_cast<int>(tile.size()) == d_);
-  IntVec seed = ext_seed(params);
+  // Called once per outgoing edge in the runtime hot path; per-thread
+  // scratch keeps it allocation-free in steady state.
+  thread_local IntVec seed;
+  ext_seed_into(params, seed);
   for (int k = 0; k < d_; ++k)
     seed[static_cast<std::size_t>(ext_tile(k))] =
         tile[static_cast<std::size_t>(k)];
@@ -386,6 +402,22 @@ std::vector<int> TilingModel::deps_of(const IntVec& params,
   return out;
 }
 
+int TilingModel::num_deps_of(const IntVec& params, const IntVec& tile) const {
+  DPGEN_ASSERT(static_cast<int>(tile.size()) == d_);
+  thread_local IntVec seed;
+  ext_seed_into(params, seed);
+  int n = 0;
+  for (const Edge& e : edges_) {
+    for (int k = 0; k < d_; ++k) {
+      auto ks = static_cast<std::size_t>(k);
+      seed[static_cast<std::size_t>(ext_tile(k))] =
+          add_ck(tile[ks], e.offset[ks]);
+    }
+    if (tile_space_.contains(seed)) ++n;
+  }
+  return n;
+}
+
 Int TilingModel::local_index(const IntVec& local) const {
   Int idx = 0;
   for (int k = 0; k < d_; ++k) {
@@ -408,20 +440,7 @@ IntVec TilingModel::global_of(const IntVec& tile, const IntVec& local) const {
 void TilingModel::for_each_cell(
     const IntVec& params, const IntVec& tile,
     const std::function<void(const IntVec&, const IntVec&)>& fn) const {
-  IntVec seed = ext_seed(params);
-  for (int k = 0; k < d_; ++k)
-    seed[static_cast<std::size_t>(ext_tile(k))] =
-        tile[static_cast<std::size_t>(k)];
-  IntVec local(static_cast<std::size_t>(d_));
-  IntVec global(static_cast<std::size_t>(d_));
-  poly::for_each_point(local_nest_, seed, [&](const IntVec& pt) {
-    for (int k = 0; k < d_; ++k) {
-      auto ks = static_cast<std::size_t>(k);
-      local[ks] = pt[static_cast<std::size_t>(ext_local(k))];
-      global[ks] = local[ks] + spec_.widths()[ks] * tile[ks];
-    }
-    fn(local, global);
-  });
+  for_each_cell_fast(params, tile, fn);
 }
 
 Int TilingModel::cell_count(const IntVec& params, const IntVec& tile) const {

@@ -91,6 +91,11 @@ class TilingModel {
   /// in the tile space).  Returns edge indices.
   std::vector<int> deps_of(const IntVec& params, const IntVec& tile) const;
 
+  /// Number of in-space dependencies of `tile` — deps_of(...).size() without
+  /// materialising the index list (the runtime hot path only needs the
+  /// count, once per tile, and must not allocate).
+  int num_deps_of(const IntVec& params, const IntVec& tile) const;
+
   // ---- geometry (paper IV.H) -------------------------------------------------
   const IntVec& ghost_lo() const { return ghost_lo_; }
   const IntVec& ghost_hi() const { return ghost_hi_; }
@@ -116,6 +121,32 @@ class TilingModel {
       const IntVec& params, const IntVec& tile,
       const std::function<void(const IntVec& local, const IntVec& global)>& fn)
       const;
+
+  /// Template variant of for_each_cell for the execute hot path: no
+  /// std::function wrapper (whose capturing closure allocates per call)
+  /// and per-thread scratch, so the scan is allocation-free in steady
+  /// state.
+  template <typename Fn>
+  void for_each_cell_fast(const IntVec& params, const IntVec& tile,
+                          Fn&& fn) const {
+    thread_local IntVec seed;
+    thread_local IntVec local;
+    thread_local IntVec global;
+    ext_seed_into(params, seed);
+    for (int k = 0; k < d_; ++k)
+      seed[static_cast<std::size_t>(ext_tile(k))] =
+          tile[static_cast<std::size_t>(k)];
+    local.assign(static_cast<std::size_t>(d_), 0);
+    global.assign(static_cast<std::size_t>(d_), 0);
+    poly::for_each_point_inplace(local_nest_, seed, [&](const IntVec& pt) {
+      for (int k = 0; k < d_; ++k) {
+        auto ks = static_cast<std::size_t>(k);
+        local[ks] = pt[static_cast<std::size_t>(ext_local(k))];
+        global[ks] = local[ks] + spec_.widths()[ks] * tile[ks];
+      }
+      fn(static_cast<const IntVec&>(local), static_cast<const IntVec&>(global));
+    });
+  }
 
   /// Number of cells in tile t (the tile's work).
   Int cell_count(const IntVec& params, const IntVec& tile) const;
@@ -144,6 +175,54 @@ class TilingModel {
   void for_each_pack_cell(const IntVec& params, const IntVec& producer,
                           int edge,
                           const std::function<void(const IntVec&)>& fn) const;
+
+  /// Constant buffer-index shift from a producer-local pack cell to the
+  /// consumer-side ghost cell of edge e: sum_k strides_k * w_k * delta_k
+  /// (local_index(j + w*delta) == local_index(j) + shift).
+  Int edge_unpack_shift(int edge) const {
+    return unpack_shifts_[static_cast<std::size_t>(edge)];
+  }
+
+  /// Scans the producer-local cells of edge e as maximal contiguous runs
+  /// along the innermost buffer dimension.  The pack nest iterates locals
+  /// ascending with the innermost level at buffer stride 1, so every
+  /// innermost range [lo, hi] is one contiguous buffer run; fn(start, len)
+  /// receives the run's first buffer index and its length, covering the
+  /// cells in exactly the canonical per-cell pack order.  This is what
+  /// turns interpreted pack/unpack into one memcpy per run.
+  template <typename Fn>
+  void for_each_pack_run(const IntVec& params, const IntVec& producer,
+                         int edge, Fn&& fn) const {
+    const poly::LoopNest& nest = pack_nests_[static_cast<std::size_t>(edge)];
+    // Scratch persists per thread: pack/unpack run once per edge per tile,
+    // so these must not allocate in steady state.
+    thread_local IntVec pt;
+    thread_local IntVec local;
+    ext_seed_into(params, pt);
+    for (int k = 0; k < d_; ++k)
+      pt[static_cast<std::size_t>(ext_tile(k))] =
+          producer[static_cast<std::size_t>(k)];
+    local.assign(static_cast<std::size_t>(d_), 0);
+    const int last = nest.levels() - 1;
+    auto rec = [&](auto&& self, int level) -> void {
+      auto [lo, hi] = nest.range(level, pt);
+      if (level == last) {
+        if (lo > hi) return;
+        for (int k = 0; k + 1 < d_; ++k)
+          local[static_cast<std::size_t>(k)] =
+              pt[static_cast<std::size_t>(ext_local(k))];
+        local[static_cast<std::size_t>(d_ - 1)] = lo;
+        fn(local_index(local), hi - lo + 1);
+        return;
+      }
+      auto v = static_cast<std::size_t>(nest.var_at(level));
+      for (Int x = lo; x <= hi; ++x) {
+        pt[v] = x;
+        self(self, level + 1);
+      }
+    };
+    rec(rec, 0);
+  }
 
   // ---- initial tiles (paper IV.K) ---------------------------------------------------
   /// Finds every tile all of whose dependencies fall outside the tile
@@ -175,6 +254,9 @@ class TilingModel {
 
  private:
   IntVec ext_seed(const IntVec& params) const;
+  /// Allocation-free ext_seed: fills `seed` in place (capacity persists
+  /// when the caller reuses the same scratch vector).
+  void ext_seed_into(const IntVec& params, IntVec& seed) const;
 
   spec::ProblemSpec spec_;
   int p_ = 0;
@@ -193,6 +275,7 @@ class TilingModel {
 
   std::vector<Edge> edges_;
   std::vector<poly::LoopNest> pack_nests_;  // one per edge
+  std::vector<Int> unpack_shifts_;          // one per edge
 
   std::vector<std::vector<ValidityCheck>> validity_;  // per dependency
 

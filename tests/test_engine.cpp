@@ -291,9 +291,8 @@ class BrokenDepCountHooks final : public runtime::ProblemHooks<double> {
   int owner(const IntVec&) const override { return 0; }
   Int owned_tiles(int) const override { return 2; }
   void execute_tile(const IntVec&, double*) override {}
-  Int pack(int, const IntVec&, const double*, std::vector<double>& out)
-      const override {
-    out.clear();
+  Int edge_capacity(int) const override { return 0; }
+  Int pack(int, const IntVec&, const double*, double*) const override {
     return 0;
   }
   void unpack(int, const IntVec&, const double*, Int, double*) const override {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "runtime/driver.hpp"
 #include "runtime/order.hpp"
 #include "runtime/tile_table.hpp"
@@ -167,13 +170,35 @@ TEST(ShardedTable, StatsAggregateAcrossShards) {
   EXPECT_THROW(ShardedTileTable<float>(default_order(), 0), Error);
 }
 
+TEST(ShardedTable, ReadyPeakIsSimultaneousNotSummed) {
+  // Tiles become ready one at a time and are popped immediately, spread
+  // over both shards.  The rank-level peak must be 1 — summing per-shard
+  // peaks (the old bug) would report 2.
+  ShardedTileTable<float> table(default_order(), 2);
+  auto one = [](const IntVec&) { return 1; };
+  for (Int i = 0; i < 8; ++i) {
+    table.deliver({i, i + 1}, one, {0, {1.0f}});
+    ASSERT_TRUE(table.pop(0).has_value());
+  }
+  EXPECT_EQ(table.stats().peak_ready_tiles, 1);
+}
+
+TEST(ShardedTable, ReadyPeakTracksSimultaneousDepth) {
+  ShardedTileTable<float> table(default_order(), 2);
+  for (Int i = 0; i < 5; ++i) table.seed_ready({i, i});
+  EXPECT_EQ(table.stats().peak_ready_tiles, 5);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(table.pop(i).has_value());
+  EXPECT_FALSE(table.pop(0).has_value());
+  EXPECT_EQ(table.stats().peak_ready_tiles, 5);  // peak, not current depth
+}
+
 TEST(EdgeWire, EncodeDecodeRoundTrip) {
   std::vector<double> payload{1.5, -2.25, 0.0};
   auto buf = detail::encode_edge<double>(3, {4, -1, 7}, payload);
   int edge = -1;
   IntVec consumer;
   std::vector<double> out;
-  detail::decode_edge<double>(buf, 3, &edge, &consumer, &out);
+  detail::decode_edge<double>(buf, 3, 8, &edge, &consumer, &out);
   EXPECT_EQ(edge, 3);
   EXPECT_EQ(consumer, (IntVec{4, -1, 7}));
   EXPECT_EQ(out, payload);
@@ -184,7 +209,7 @@ TEST(EdgeWire, EmptyPayloadRoundTrip) {
   int edge = -1;
   IntVec consumer;
   std::vector<float> out;
-  detail::decode_edge<float>(buf, 1, &edge, &consumer, &out);
+  detail::decode_edge<float>(buf, 1, 8, &edge, &consumer, &out);
   EXPECT_EQ(edge, 0);
   EXPECT_EQ(consumer, (IntVec{9}));
   EXPECT_TRUE(out.empty());
@@ -196,8 +221,53 @@ TEST(EdgeWire, TruncatedMessageRejected) {
   int edge;
   IntVec consumer;
   std::vector<double> out;
-  EXPECT_THROW(detail::decode_edge<double>(buf, 2, &edge, &consumer, &out),
+  EXPECT_THROW(detail::decode_edge<double>(buf, 2, 8, &edge, &consumer, &out),
                Error);
+}
+
+TEST(EdgeWire, MalformedHeadersRejected) {
+  // A valid message we then corrupt field by field; header layout is
+  // [edge, count, consumer...] as Int (8 bytes each).
+  auto valid = detail::encode_edge<double>(1, {2, 3}, {1.0, 2.0});
+  int edge;
+  IntVec consumer;
+  std::vector<double> out;
+
+  auto corrupt = [&](std::size_t field, Int value) {
+    auto buf = valid;
+    std::memcpy(buf.data() + field * sizeof(Int), &value, sizeof(Int));
+    return buf;
+  };
+
+  // Edge index out of range: negative or >= num_edges.
+  EXPECT_THROW(detail::decode_edge<double>(corrupt(0, -1), 2, 8, &edge,
+                                           &consumer, &out),
+               Error);
+  EXPECT_THROW(detail::decode_edge<double>(corrupt(0, 8), 2, 8, &edge,
+                                           &consumer, &out),
+               Error);
+  // Negative payload count.
+  EXPECT_THROW(detail::decode_edge<double>(corrupt(1, -1), 2, 8, &edge,
+                                           &consumer, &out),
+               Error);
+  // Payload count overflowing the buffer (count * sizeof(S) would wrap).
+  EXPECT_THROW(detail::decode_edge<double>(
+                   corrupt(1, std::numeric_limits<Int>::max()), 2, 8, &edge,
+                   &consumer, &out),
+               Error);
+  // Count claims more scalars than the buffer holds.
+  EXPECT_THROW(detail::decode_edge<double>(corrupt(1, 3), 2, 8, &edge,
+                                           &consumer, &out),
+               Error);
+  // Buffer shorter than the fixed header.
+  std::vector<std::uint8_t> tiny(detail::edge_wire_header(2) - 1, 0);
+  EXPECT_THROW(
+      detail::decode_edge<double>(tiny, 2, 8, &edge, &consumer, &out), Error);
+  // The uncorrupted message still decodes.
+  detail::decode_edge<double>(valid, 2, 8, &edge, &consumer, &out);
+  EXPECT_EQ(edge, 1);
+  EXPECT_EQ(consumer, (IntVec{2, 3}));
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0}));
 }
 
 TEST(EdgeWire, FloatScalarsSupported) {
@@ -206,7 +276,7 @@ TEST(EdgeWire, FloatScalarsSupported) {
   int edge;
   IntVec consumer;
   std::vector<float> out;
-  detail::decode_edge<float>(buf, 2, &edge, &consumer, &out);
+  detail::decode_edge<float>(buf, 2, 8, &edge, &consumer, &out);
   EXPECT_EQ(out, payload);
 }
 
