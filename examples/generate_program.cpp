@@ -11,6 +11,9 @@
 //       -I<repo>/src out.cpp libdpgen_runtime.a libdpgen_minimpi.a \
 //       libdpgen_obs.a libdpgen_support.a -lpthread -o solver
 //   ./solver <params...> [--ranks=R] [--threads=T] [--trace=FILE]
+//            [--metrics=FILE] [--report=FILE]
+// --report writes the attributed performance report (critical path,
+// Ehrhart-vs-measured load balance, comm matrix — docs/observability.md).
 
 #include <cstdio>
 #include <cstring>

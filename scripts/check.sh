@@ -16,6 +16,32 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+echo "==== analyzer smoke (--report + dpgen-analyze + schema validation)"
+# Two bundled problems through the full report pipeline: engine run with
+# --report/--trace-out, the exported trace re-ingested by dpgen-analyze,
+# and every produced report validated against tools/report_schema.json.
+rm -rf build/analyze-smoke && mkdir -p build/analyze-smoke
+for p in "bandit2:12" "lcs:64,64"; do
+  name="${p%%:*}"; params="${p#*:}"
+  build/tools/dpgen-analyze --problem="$name" --params="$params" \
+    --ranks=2 --threads=2 \
+    --report="build/analyze-smoke/${name}.json" \
+    --trace-out="build/analyze-smoke/${name}.trace.json" > /dev/null
+  build/tools/dpgen-analyze --trace="build/analyze-smoke/${name}.trace.json" \
+    --problem="$name" --params="$params" \
+    --report="build/analyze-smoke/${name}.retrace.json" > /dev/null
+  build/tools/dpgen-analyze \
+    --validate="build/analyze-smoke/${name}.json" \
+    --schema=tools/report_schema.json
+  build/tools/dpgen-analyze \
+    --validate="build/analyze-smoke/${name}.retrace.json" \
+    --schema=tools/report_schema.json
+done
+build/tools/dpgen-analyze --problem=lcs --params=64,64 --sim \
+  --nodes=4 --cores=2 --report=build/analyze-smoke/lcs.sim.json > /dev/null
+build/tools/dpgen-analyze --validate=build/analyze-smoke/lcs.sim.json \
+  --schema=tools/report_schema.json
+
 if [[ "${1:-}" != "--quick" ]]; then
   for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue

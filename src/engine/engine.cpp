@@ -185,8 +185,10 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
                  const CenterFn& center, const EngineOptions& options) {
   // A trace request switches the process-wide tracer on for this run and
   // starts it from a clean buffer, so the exported timeline covers exactly
-  // this execution.
-  const bool tracing = !options.trace_json_path.empty();
+  // this execution.  A report request implies tracing: the analyzer needs
+  // the spans.
+  const bool tracing =
+      !options.trace_json_path.empty() || !options.report_json_path.empty();
   obs::Tracer& tracer = obs::Tracer::instance();
   const bool was_enabled = tracer.enabled();
   if (tracing) {
@@ -233,13 +235,33 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
         runtime::run_node<double>(hooks, comm, ropt);
   });
 
+  std::optional<obs::AnalysisReport> report;
   if (tracing) {
     // run_node gathered every rank's spans to rank 0, which (in this
     // in-process world) merged them into the shared tracer; the setup
     // spans recorded before the world started ride along under rank -1.
     std::vector<obs::Span> spans = tracer.merged();
     for (const obs::Span& s : tracer.collect_rank(-1)) spans.push_back(s);
-    obs::write_chrome_trace(options.trace_json_path, spans);
+    const std::uint64_t dropped = tracer.dropped();
+    if (!options.trace_json_path.empty())
+      obs::write_chrome_trace(options.trace_json_path, spans, dropped);
+    if (!options.report_json_path.empty()) {
+      obs::AnalysisInput in;
+      in.spans = std::move(spans);
+      in.nranks = options.ranks;
+      for (const auto& e : model.edges()) in.edge_offsets.push_back(e.offset);
+      for (int r = 0; r < options.ranks; ++r)
+        in.predicted_work.push_back(
+            static_cast<double>(balancer.owned_work(r)));
+      in.bytes_matrix = world.bytes_matrix();
+      in.messages_matrix = world.messages_matrix();
+      in.spans_dropped = dropped;
+      in.source = "engine";
+      in.problem = model.problem().problem_name();
+      in.params = params;
+      report = obs::analyze(in);
+      obs::write_report_json(options.report_json_path, *report);
+    }
     tracer.set_enabled(was_enabled);
   }
   if (!options.metrics_json_path.empty())
@@ -247,6 +269,7 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
                             obs::MetricsRegistry::instance());
 
   EngineResult result;
+  result.report = std::move(report);
   result.values = std::move(recorder.values);
   result.rank_stats = std::move(rank_stats);
   result.max_value = recorder.max_value;

@@ -10,8 +10,10 @@
 
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/analysis.hpp"
 #include "runtime/driver.hpp"
 #include "tiling/balance.hpp"
 #include "tiling/model.hpp"
@@ -85,6 +87,12 @@ struct EngineOptions {
   /// When non-empty, the obs::MetricsRegistry is dumped here as JSON
   /// after the run.
   std::string metrics_json_path;
+  /// When non-empty, the run is traced (like trace_json_path) and the
+  /// attributed performance report — critical path, Ehrhart-vs-measured
+  /// load-balance audit, per-peer communication matrix (obs/analysis.hpp)
+  /// — is written here as JSON; the same report lands in
+  /// EngineResult::report.
+  std::string report_json_path;
 };
 
 struct EngineResult {
@@ -96,6 +104,9 @@ struct EngineResult {
   /// every location and its (lex-smallest) coordinates.
   double max_value = 0.0;
   IntVec max_point;
+  /// Filled when EngineOptions::report_json_path is set: the analyzed
+  /// performance report for this run.
+  std::optional<obs::AnalysisReport> report;
 
   /// Value at a recorded location; throws when it was not recorded.
   double at(const IntVec& point) const;

@@ -41,44 +41,66 @@ obs::Histogram& message_bytes_histogram() {
 World::World(int nranks, std::size_t mailbox_capacity)
     : capacity_(mailbox_capacity) {
   DPGEN_CHECK(nranks >= 1, "world needs at least one rank");
+  // Registry instruments are process-wide (shared by every source rank),
+  // so resolve each destination's handle once and hand it to all Comms.
+  std::vector<obs::Counter*> peer_messages, peer_bytes;
+  auto& registry = obs::MetricsRegistry::instance();
+  for (int r = 0; r < nranks; ++r) {
+    peer_messages.push_back(&registry.counter(cat("comm.messages_sent.to", r)));
+    peer_bytes.push_back(&registry.counter(cat("comm.bytes_sent.to", r)));
+  }
   for (int r = 0; r < nranks; ++r) {
     comms_.push_back(std::unique_ptr<Comm>(new Comm()));
     comms_.back()->world_ = this;
     comms_.back()->rank_ = r;
+    comms_.back()->peers_ =
+        std::vector<Comm::PeerStats>(static_cast<std::size_t>(nranks));
+    for (int dst = 0; dst < nranks; ++dst) {
+      auto& peer = comms_.back()->peers_[static_cast<std::size_t>(dst)];
+      peer.messages_counter = peer_messages[static_cast<std::size_t>(dst)];
+      peer.bytes_counter = peer_bytes[static_cast<std::size_t>(dst)];
+    }
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
 }
 
-int Comm::size() const { return world_->size(); }
-
-void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
-  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
-  Message m;
-  m.source = rank_;
-  m.tag = tag;
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  m.payload.assign(p, p + bytes);
-
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
-    ++blocked_sends_;
-    blocked_counter().increment();
-    obs::ScopedSpan span(obs::Phase::kBlockedSend);
-    box.not_full.wait(
-        lock, [&] { return box.queue.size() < world_->capacity_; });
-  }
-  box.queue.push_back(std::move(m));
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  messages_counter().increment();
-  bytes_counter().add(static_cast<std::int64_t>(bytes));
-  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
-  box.not_empty.notify_one();
+std::vector<std::vector<std::uint64_t>> World::bytes_matrix() const {
+  std::vector<std::vector<std::uint64_t>> m(comms_.size());
+  for (std::size_t src = 0; src < comms_.size(); ++src)
+    for (std::size_t dst = 0; dst < comms_.size(); ++dst)
+      m[src].push_back(comms_[src]->bytes_sent_to(static_cast<int>(dst)));
+  return m;
 }
 
-void Comm::send(int dst, int tag, std::vector<std::uint8_t>&& payload) {
-  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+std::vector<std::vector<std::uint64_t>> World::messages_matrix() const {
+  std::vector<std::vector<std::uint64_t>> m(comms_.size());
+  for (std::size_t src = 0; src < comms_.size(); ++src)
+    for (std::size_t dst = 0; dst < comms_.size(); ++dst)
+      m[src].push_back(comms_[src]->messages_sent_to(static_cast<int>(dst)));
+  return m;
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::count_send(int dst, std::size_t bytes) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  auto& peer = peers_[static_cast<std::size_t>(dst)];
+  peer.messages.fetch_add(1, std::memory_order_relaxed);
+  peer.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  messages_counter().increment();
+  bytes_counter().add(static_cast<std::int64_t>(bytes));
+  peer.messages_counter->increment();
+  peer.bytes_counter->add(static_cast<std::int64_t>(bytes));
+  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+}
+
+void Comm::count_blocked() {
+  ++blocked_sends_;
+  blocked_counter().increment();
+}
+
+void Comm::send_impl(int dst, int tag, std::vector<std::uint8_t>&& payload) {
   const std::size_t bytes = payload.size();
   Message m;
   m.source = rank_;
@@ -88,19 +110,25 @@ void Comm::send(int dst, int tag, std::vector<std::uint8_t>&& payload) {
   auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
   if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
-    ++blocked_sends_;
-    blocked_counter().increment();
+    count_blocked();
     obs::ScopedSpan span(obs::Phase::kBlockedSend);
     box.not_full.wait(
         lock, [&] { return box.queue.size() < world_->capacity_; });
   }
   box.queue.push_back(std::move(m));
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  messages_counter().increment();
-  bytes_counter().add(static_cast<std::int64_t>(bytes));
-  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+  count_send(dst, bytes);
   box.not_empty.notify_one();
+}
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  send_impl(dst, tag, std::vector<std::uint8_t>(p, p + bytes));
+}
+
+void Comm::send(int dst, int tag, std::vector<std::uint8_t>&& payload) {
+  DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
+  send_impl(dst, tag, std::move(payload));
 }
 
 bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
@@ -108,21 +136,18 @@ bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
   if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
-    ++blocked_sends_;
-    blocked_counter().increment();
+    count_blocked();
     return false;
   }
+  // The payload is copied only after the capacity check passes, so a
+  // polling retry loop does not pay for copies that would be thrown away.
   Message m;
   m.source = rank_;
   m.tag = tag;
   const auto* p = static_cast<const std::uint8_t*>(data);
   m.payload.assign(p, p + bytes);
   box.queue.push_back(std::move(m));
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  messages_counter().increment();
-  bytes_counter().add(static_cast<std::int64_t>(bytes));
-  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+  count_send(dst, bytes);
   box.not_empty.notify_one();
   return true;
 }
@@ -132,8 +157,7 @@ bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload) {
   auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
   if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
-    ++blocked_sends_;
-    blocked_counter().increment();
+    count_blocked();
     return false;
   }
   const std::size_t bytes = payload.size();
@@ -142,11 +166,7 @@ bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload) {
   m.tag = tag;
   m.payload = std::move(payload);
   box.queue.push_back(std::move(m));
-  ++messages_sent_;
-  bytes_sent_ += bytes;
-  messages_counter().increment();
-  bytes_counter().add(static_cast<std::int64_t>(bytes));
-  message_bytes_histogram().observe(static_cast<std::int64_t>(bytes));
+  count_send(dst, bytes);
   box.not_empty.notify_one();
   return true;
 }

@@ -26,6 +26,10 @@
 
 #include "support/checked.hpp"
 
+namespace dpgen::obs {
+class Counter;
+}
+
 namespace dpgen::minimpi {
 
 /// One delivered message: source rank, user tag and a byte payload.
@@ -152,13 +156,44 @@ class Comm {
   /// Number of sends that found the destination mailbox full.
   std::uint64_t blocked_sends() const { return blocked_sends_; }
 
+  /// Per-peer send totals (the communication-matrix source: row = this
+  /// rank, column = dst).  Collective traffic (broadcast/gather) counts
+  /// too, so summing a row reproduces messages_sent()/bytes_sent().
+  std::uint64_t messages_sent_to(int dst) const {
+    return peers_[static_cast<std::size_t>(dst)].messages.load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent_to(int dst) const {
+    return peers_[static_cast<std::size_t>(dst)].bytes.load(
+        std::memory_order_relaxed);
+  }
+
  private:
   friend class World;
+
+  /// Per-destination counters plus cached handles for the registry's
+  /// process-wide `comm.{messages,bytes}_sent.to<dst>` instruments.
+  struct PeerStats {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+    obs::Counter* messages_counter = nullptr;
+    obs::Counter* bytes_counter = nullptr;
+  };
+
+  /// Send accounting shared by every send path (atomics only: called with
+  /// the destination mailbox lock held).
+  void count_send(int dst, std::size_t bytes);
+  /// Accounting for a send that found the destination mailbox full.
+  void count_blocked();
+  /// Shared body of the move-in blocking sends.
+  void send_impl(int dst, int tag, std::vector<std::uint8_t>&& payload);
+
   World* world_ = nullptr;
   int rank_ = -1;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> blocked_sends_{0};
+  std::vector<PeerStats> peers_;  // sized by the World constructor
 };
 
 /// A communicator world of `nranks` ranks within this process.
@@ -170,6 +205,14 @@ class World {
 
   int size() const { return static_cast<int>(comms_.size()); }
   Comm& comm(int rank) { return *comms_[static_cast<std::size_t>(rank)]; }
+  const Comm& comm(int rank) const {
+    return *comms_[static_cast<std::size_t>(rank)];
+  }
+
+  /// rank x rank send totals, [source][destination] — the communication
+  /// matrix the performance report renders (obs/analysis.hpp).
+  std::vector<std::vector<std::uint64_t>> bytes_matrix() const;
+  std::vector<std::vector<std::uint64_t>> messages_matrix() const;
 
   /// Runs fn(comm) on every rank, each on its own thread, and joins them.
   /// The first exception thrown by any rank is rethrown here.

@@ -1,0 +1,160 @@
+#pragma once
+// Performance attribution: turns a recorded run into a report that says
+// where the makespan went.
+//
+// Three analyses, each answering a question the raw telemetry (PR 1's
+// spans and counters) leaves to eyeballing:
+//   1. Critical path — reconstruct the executed tile DAG from the
+//      tile_execute spans plus the tile-dependency offsets (tile t
+//      depends on t + offset, the TilingModel's edge convention), walk
+//      back from the last-finishing tile along latest-finishing
+//      predecessors, and attribute every nanosecond of the makespan along
+//      that chain to compute / pack / unpack / send / blocked-send /
+//      poll / idle / other.  The attribution sums to the makespan by
+//      construction.
+//   2. Load-balance audit — the paper's Sec. IV.J premise is that
+//      Ehrhart-polynomial work counts predict per-rank runtime; the
+//      report puts the LoadBalancer's predicted per-rank share next to
+//      the measured per-rank tile_execute time and the per-rank error.
+//   3. Communication matrix — the per-peer minimpi counters rendered as
+//      a rank x rank bytes/messages matrix with row/column totals.
+//
+// One analyzer serves every producer: engine runs
+// (EngineOptions::report_json_path), generated programs (--report=FILE),
+// the cluster simulator's replayed timelines (sim::analysis_input), and
+// re-ingested trace files (tools/dpgen-analyze --trace).  The JSON shape
+// is schema-stable ("dpgen.report.v1", tools/report_schema.json).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/vec.hpp"
+
+namespace dpgen::obs {
+
+/// Everything the analyzer consumes.  Producers fill what they have;
+/// empty members degrade gracefully (no offsets -> single-tile path with
+/// a warning, no matrices -> comm section omitted from the text view).
+struct AnalysisInput {
+  std::vector<Span> spans;
+  /// Ranks in the run; 0 derives it from the spans.
+  int nranks = 0;
+  /// Tile-dependency offsets: tile t depends on tile t + offset (the
+  /// TilingModel / kEdgeOffsets convention).
+  std::vector<IntVec> edge_offsets;
+  /// LoadBalancer-predicted (Ehrhart) work per rank, in locations.
+  std::vector<double> predicted_work;
+  /// Per-peer send totals, [source][destination].
+  std::vector<std::vector<std::uint64_t>> bytes_matrix;
+  std::vector<std::vector<std::uint64_t>> messages_matrix;
+  /// Tracer::dropped() at export time: nonzero means the timeline (and
+  /// therefore every reading of it) is incomplete.
+  std::uint64_t spans_dropped = 0;
+  std::string source;   ///< "engine" | "generated" | "sim" | "trace"
+  std::string problem;  ///< problem name, when known
+  IntVec params;        ///< parameter values, when known
+};
+
+/// Seconds attributed to each phase bucket.  `other` is the uncovered
+/// remainder (scheduler bookkeeping, setup scans, untraced stretches), so
+/// total() equals the attributed window exactly.
+struct PhaseBreakdown {
+  double compute = 0.0;
+  double unpack = 0.0;
+  double pack = 0.0;
+  double send = 0.0;
+  double blocked_send = 0.0;
+  double poll = 0.0;
+  double idle = 0.0;
+  double barrier = 0.0;
+  double other = 0.0;
+
+  double total() const {
+    return compute + unpack + pack + send + blocked_send + poll + idle +
+           barrier + other;
+  }
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o);
+};
+
+/// One tile on the critical path, in execution order.
+struct CriticalPathStep {
+  IntVec tile;
+  int rank = 0;
+  int thread = 0;
+  double start_s = 0.0;  ///< relative to the run start
+  double end_s = 0.0;
+  /// Wait between the predecessor's finish (or the run start) and this
+  /// tile's execute start — the window the gap attribution explains.
+  double gap_before_s = 0.0;
+};
+
+/// Predicted-vs-measured audit for one rank.
+struct RankAudit {
+  int rank = 0;
+  long long tiles = 0;
+  /// Sum of this rank's tile_execute durations (all threads).
+  double measured_compute_s = 0.0;
+  /// Last span end minus first span start on this rank.
+  double wall_s = 0.0;
+  /// Sum of the per-thread track windows (phases.total() equals this by
+  /// construction — the per-rank conservation invariant).
+  double thread_seconds = 0.0;
+  /// Whole-rank phase totals, summed over the rank's worker threads.
+  PhaseBreakdown phases;
+  double predicted_work = 0.0;   ///< Ehrhart locations owned by this rank
+  double predicted_share = 0.0;  ///< predicted_work / total predicted
+  double measured_share = 0.0;   ///< measured_compute_s / total measured
+  /// measured_share - predicted_share: positive means the rank did more
+  /// of the work than the Ehrhart counts promised.
+  double share_error = 0.0;
+};
+
+struct AnalysisReport {
+  std::string source;
+  std::string problem;
+  IntVec params;
+  int nranks = 0;
+  /// Run start (earliest in-rank span) to last tile finish, seconds.
+  double makespan_s = 0.0;
+  std::uint64_t spans_dropped = 0;
+  std::vector<std::string> warnings;
+
+  // ---- (1) critical path --------------------------------------------------
+  std::vector<CriticalPathStep> critical_path;
+  /// Attribution of the whole [run start, last tile finish] window along
+  /// the path: compute is the path tiles' execute time (plus other tiles
+  /// run on the same thread during waits); the rest explains the gaps.
+  PhaseBreakdown path_attribution;
+  /// path_attribution.total() / makespan_s — 1.0 unless clock anomalies
+  /// forced a gap clamp.
+  double path_coverage = 0.0;
+
+  // ---- (2) load-balance audit ---------------------------------------------
+  std::vector<RankAudit> ranks;
+  double predicted_imbalance = 0.0;  ///< max/avg predicted work
+  double measured_imbalance = 0.0;   ///< max/avg measured compute time
+
+  // ---- (3) communication matrix -------------------------------------------
+  std::vector<std::vector<std::uint64_t>> bytes_matrix;
+  std::vector<std::vector<std::uint64_t>> messages_matrix;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_messages = 0;
+};
+
+/// Runs all three analyses.  Pure function of the input; deterministic.
+AnalysisReport analyze(const AnalysisInput& input);
+
+/// Schema-stable JSON rendering ("dpgen.report.v1";
+/// tools/report_schema.json is the contract).
+std::string report_json(const AnalysisReport& report);
+
+/// Human-readable rendering (the CLI's default output).
+std::string report_text(const AnalysisReport& report);
+
+/// Writes report_json to `path` (throws dpgen::Error on I/O failure).
+void write_report_json(const std::string& path,
+                       const AnalysisReport& report);
+
+}  // namespace dpgen::obs

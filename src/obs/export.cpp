@@ -36,7 +36,8 @@ std::string track_name(int rank) {
 
 }  // namespace
 
-std::string chrome_trace_json(const std::vector<Span>& spans) {
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              std::uint64_t dropped) {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   auto emit = [&](const std::string& event) {
@@ -74,15 +75,17 @@ std::string chrome_trace_json(const std::vector<Span>& spans) {
              "\",\"args\":{\"phase\":\"", phase_name(s.phase), "\"", args,
              "}}"));
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out += cat("\n],\"displayTimeUnit\":\"ms\",\"metadata\":{\"spans_dropped\":",
+             dropped, "}}\n");
   return out;
 }
 
 void write_chrome_trace(const std::string& path,
-                        const std::vector<Span>& spans) {
+                        const std::vector<Span>& spans,
+                        std::uint64_t dropped) {
   std::ofstream out(path);
   DPGEN_CHECK(out.good(), cat("cannot open trace output '", path, "'"));
-  out << chrome_trace_json(spans);
+  out << chrome_trace_json(spans, dropped);
   DPGEN_CHECK(out.good(), cat("error writing trace '", path, "'"));
 }
 

@@ -16,13 +16,18 @@
 
 namespace dpgen::obs {
 
-/// Renders spans as a Chrome trace-event JSON document.
-std::string chrome_trace_json(const std::vector<Span>& spans);
+/// Renders spans as a Chrome trace-event JSON document.  `dropped` is
+/// Tracer::dropped() at export time; it is surfaced in the document's
+/// "metadata" object ("spans_dropped") so a reader — human or the
+/// analyzer — knows when ring-buffer overflow truncated the timeline.
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              std::uint64_t dropped = 0);
 
-/// Writes chrome_trace_json(spans) to `path` (throws dpgen::Error on I/O
-/// failure).
+/// Writes chrome_trace_json(spans, dropped) to `path` (throws
+/// dpgen::Error on I/O failure).
 void write_chrome_trace(const std::string& path,
-                        const std::vector<Span>& spans);
+                        const std::vector<Span>& spans,
+                        std::uint64_t dropped = 0);
 
 /// Writes the registry's JSON dump to `path`.
 void write_metrics_json(const std::string& path,

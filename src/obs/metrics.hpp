@@ -49,6 +49,9 @@ class Gauge {
     return value_.load(std::memory_order_relaxed);
   }
   std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Clears the level AND the high-water mark: back-to-back runs in one
+  /// process must not inherit the previous run's peak through
+  /// MetricsRegistry::reset().
   void reset() {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
@@ -77,6 +80,12 @@ class Histogram {
     return buckets_[static_cast<std::size_t>(b)].load(
         std::memory_order_relaxed);
   }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the log2 bucket holding the target rank, clamped to [min, max].
+  /// Exact at the bucket boundaries; within a factor of 2 inside.
+  double quantile(double q) const;
+
   void reset();
 
  private:

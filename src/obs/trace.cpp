@@ -22,6 +22,16 @@ const char* phase_name(Phase p) {
   return "unknown";
 }
 
+bool phase_from_name(const std::string& name, Phase* out) {
+  for (int p = 0; p < static_cast<int>(Phase::kPhaseCount); ++p) {
+    if (name == phase_name(static_cast<Phase>(p))) {
+      *out = static_cast<Phase>(p);
+      return true;
+    }
+  }
+  return false;
+}
+
 Tracer& Tracer::instance() {
   static Tracer tracer;
   return tracer;

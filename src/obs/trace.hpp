@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "support/vec.hpp"
@@ -56,6 +57,10 @@ enum class Phase : std::uint8_t {
 
 /// Stable lower-case name for exporters ("tile_execute", "idle", ...).
 const char* phase_name(Phase p);
+
+/// Inverse of phase_name (the analyzer re-ingests exported traces).
+/// Returns false when `name` matches no phase.
+bool phase_from_name(const std::string& name, Phase* out);
 
 /// Tile coordinates beyond this many dimensions are dropped from spans
 /// (the span stays; only the trailing coordinates are lost).

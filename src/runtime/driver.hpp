@@ -527,6 +527,23 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       poll();
     }
 
+    if (idling) {
+      // Workers that drain early exit the loop mid-idle (the loop
+      // condition flips while they wait for peers to finish the last
+      // tiles), so the stretch must be closed here: this tail idle is
+      // exactly what the load-balance audit attributes imbalance to.
+      const double idle =
+          std::chrono::duration<double>(Clock::now() - idle_since).count();
+      local.idle_seconds += idle;
+      metrics.idle_ns.add(static_cast<std::int64_t>(idle * 1e9));
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        const std::int64_t end_ns = tracer.now_ns();
+        tracer.record(obs::Phase::kIdle,
+                      end_ns - static_cast<std::int64_t>(idle * 1e9), end_ns);
+      }
+    }
+
     local.pool_hits += payload_pool.hits();
     local.edge_allocs += payload_pool.misses();
 

@@ -72,6 +72,14 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
   long long seq = 0;
 
   SimResult result;
+  const bool record_timeline =
+      cfg.record_timeline || !cfg.report_json_path.empty();
+  result.bytes_matrix.assign(
+      static_cast<std::size_t>(cfg.nodes),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(cfg.nodes), 0));
+  result.messages_matrix.assign(
+      static_cast<std::size_t>(cfg.nodes),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(cfg.nodes), 0));
   long long global_edges = 0;
 
   auto tile_cost = [&](const IntVec& t) {
@@ -106,7 +114,7 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
       double finish = now + duration;
       node.core_free[core] = finish;
       node.busy += duration;
-      if (cfg.record_timeline)
+      if (record_timeline)
         result.timeline.push_back(
             {n, static_cast<int>(core), now, finish, tile});
       events.push({finish, seq++, EventKind::kTileComplete, n, tile});
@@ -153,6 +161,12 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
                       scalars / cfg.link_bandwidth_scalars;
             ++result.remote_messages;
             result.remote_scalars += scalars;
+            auto src = static_cast<std::size_t>(ev.node);
+            auto dsts = static_cast<std::size_t>(dst);
+            ++result.messages_matrix[src][dsts];
+            result.bytes_matrix[src][dsts] += static_cast<std::uint64_t>(
+                model.edges()[static_cast<std::size_t>(e)].capacity *
+                static_cast<Int>(sizeof(double)));
           }
           events.push(
               {arrive, seq++, EventKind::kEdgeArrive, dst, consumer});
@@ -214,7 +228,44 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
           : 1.0;
   DPGEN_CHECK(result.tiles == model.total_tiles(params),
               "simulation did not execute every tile (scheduling bug)");
+
+  if (!cfg.report_json_path.empty())
+    obs::write_report_json(cfg.report_json_path,
+                           obs::analyze(analysis_input(result, model, params,
+                                                       cfg)));
   return result;
+}
+
+obs::AnalysisInput analysis_input(const SimResult& result,
+                                  const tiling::TilingModel& model,
+                                  const IntVec& params,
+                                  const ClusterConfig& cfg) {
+  obs::AnalysisInput in;
+  in.source = "sim";
+  in.problem = model.problem().problem_name();
+  in.params = params;
+  in.nranks = cfg.nodes;
+  for (const auto& e : model.edges()) in.edge_offsets.push_back(e.offset);
+  tiling::LoadBalancer balancer(model, params, cfg.nodes, cfg.balance);
+  for (int r = 0; r < cfg.nodes; ++r)
+    in.predicted_work.push_back(static_cast<double>(balancer.owned_work(r)));
+  in.bytes_matrix = result.bytes_matrix;
+  in.messages_matrix = result.messages_matrix;
+  in.spans.reserve(result.timeline.size());
+  for (const TileSpan& ts : result.timeline) {
+    obs::Span s;
+    s.start_ns = static_cast<std::int64_t>(ts.start * 1e9);
+    s.end_ns = static_cast<std::int64_t>(ts.end * 1e9);
+    s.rank = static_cast<std::int16_t>(ts.node);
+    s.thread = static_cast<std::int16_t>(ts.core);
+    s.phase = obs::Phase::kTileExecute;
+    s.ncoord = static_cast<std::uint8_t>(
+        std::min<std::size_t>(ts.tile.size(), obs::kMaxSpanDims));
+    for (std::size_t k = 0; k < s.ncoord; ++k)
+      s.coord[k] = static_cast<std::int32_t>(ts.tile[k]);
+    in.spans.push_back(s);
+  }
+  return in;
 }
 
 std::vector<double> utilization_profile(const SimResult& result,

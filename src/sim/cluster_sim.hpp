@@ -16,6 +16,7 @@
 // claims (Fig. 4): it tracks the peak number of buffered tile edges under
 // the column-major and level-set priorities.
 
+#include "obs/analysis.hpp"
 #include "runtime/order.hpp"
 #include "tiling/balance.hpp"
 #include "tiling/model.hpp"
@@ -43,6 +44,11 @@ struct ClusterConfig {
   /// a simulated schedule exports to the same Perfetto timeline as a real
   /// run.  Requires record_timeline and an enabled tracer.
   bool trace_timeline = false;
+  /// When non-empty, a timeline is recorded (record_timeline is implied)
+  /// and the simulated schedule is pushed through the same performance
+  /// analyzer as real runs (obs/analysis.hpp); the report JSON is written
+  /// here.
+  std::string report_json_path;
 };
 
 /// One executed tile in the recorded timeline.
@@ -70,6 +76,11 @@ struct SimResult {
   long long peak_buffered_edges = 0;
   /// Per-tile execution spans (only when ClusterConfig::record_timeline).
   std::vector<TileSpan> timeline;
+  /// node x node simulated traffic, [source][destination].  Bytes assume
+  /// 8-byte wire scalars (edge capacity x sizeof(double)), matching the
+  /// link-bandwidth model's scalar accounting.
+  std::vector<std::vector<std::uint64_t>> bytes_matrix;
+  std::vector<std::vector<std::uint64_t>> messages_matrix;
 
   /// Speedup of this run relative to a serial execution of the same work.
   double speedup() const {
@@ -84,6 +95,17 @@ struct SimResult {
 /// Simulates one run.  Deterministic: same inputs, same result.
 SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
                    const ClusterConfig& config);
+
+/// Packages a simulated run (requires a recorded timeline) as analyzer
+/// input: the timeline becomes tile-execute spans (simulated seconds ->
+/// trace nanoseconds, node -> rank, core -> thread), the LoadBalancer is
+/// re-derived for the Ehrhart baseline, and the simulated traffic matrices
+/// ride along.  So a predicted schedule and a measured one produce reports
+/// in the same format, side by side.
+obs::AnalysisInput analysis_input(const SimResult& result,
+                                  const tiling::TilingModel& model,
+                                  const IntVec& params,
+                                  const ClusterConfig& config);
 
 /// Fraction of total core capacity busy in each of `buckets` equal time
 /// slices of the run (requires a recorded timeline).  The shape makes

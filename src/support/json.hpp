@@ -1,0 +1,232 @@
+#pragma once
+// Minimal JSON reader shared by the analyzer CLI (re-ingesting exported
+// traces and validating reports against the report schema) and the test
+// suite (validating exported artifacts: Chrome traces, metrics dumps,
+// bench --json records).  Strict enough to reject malformed output; not a
+// general-purpose library.
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dpgen::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// One parsed JSON value.  Accessors throw on kind mismatch so tests fail
+/// loudly on shape errors.
+class Value {
+ public:
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> items;
+  std::map<std::string, ValuePtr> fields;
+
+  bool is(Kind k) const { return kind == k; }
+
+  double as_number() const {
+    require(Kind::kNumber);
+    return number;
+  }
+  const std::string& as_string() const {
+    require(Kind::kString);
+    return str;
+  }
+  const std::vector<ValuePtr>& as_array() const {
+    require(Kind::kArray);
+    return items;
+  }
+
+  bool has(const std::string& key) const {
+    require(Kind::kObject);
+    return fields.count(key) != 0;
+  }
+  const Value& at(const std::string& key) const {
+    require(Kind::kObject);
+    auto it = fields.find(key);
+    if (it == fields.end())
+      throw std::runtime_error("json: missing key '" + key + "'");
+    return *it->second;
+  }
+
+ private:
+  void require(Kind k) const {
+    if (kind != k) throw std::runtime_error("json: wrong value kind");
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            // Tests only need the ASCII subset; wider code points keep
+            // their low byte, which is enough for structural checks.
+            out += static_cast<char>(
+                std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    char c = peek();
+    auto v = std::make_shared<Value>();
+    if (c == '{') {
+      v->kind = Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v->fields[key] = value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->kind = Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v->items.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->kind = Kind::kString;
+      v->str = string_body();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v->kind = Kind::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v->kind = Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // number
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("unexpected character");
+    v->kind = Kind::kNumber;
+    v->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses a complete JSON document; throws std::runtime_error on errors.
+inline ValuePtr parse(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace dpgen::json

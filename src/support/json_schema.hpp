@@ -1,0 +1,98 @@
+#pragma once
+// Subset JSON-Schema validator for the analyzer's report documents.
+//
+// dpgen-analyze --validate checks a report against tools/report_schema.json
+// without any external tooling (the container has no Python), so only the
+// keywords that schema uses are implemented:
+//   type ("object", "array", "string", "number", "integer", "boolean"),
+//   required, properties, items, const, minimum.
+// Unknown keywords are ignored (JSON Schema's own convention), which keeps
+// the schema file free to carry documentation like "description".
+// Validation errors are collected with JSON-pointer-style paths so a
+// failing report names the offending field.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+namespace dpgen::json {
+
+namespace detail {
+
+inline bool type_matches(const Value& v, const std::string& type) {
+  if (type == "object") return v.is(Kind::kObject);
+  if (type == "array") return v.is(Kind::kArray);
+  if (type == "string") return v.is(Kind::kString);
+  if (type == "boolean") return v.is(Kind::kBool);
+  if (type == "number") return v.is(Kind::kNumber);
+  if (type == "integer")
+    return v.is(Kind::kNumber) && v.number == std::floor(v.number);
+  if (type == "null") return v.is(Kind::kNull);
+  return true;  // unknown type names do not constrain
+}
+
+inline void validate_at(const Value& schema, const Value& v,
+                        const std::string& path,
+                        std::vector<std::string>* errors) {
+  if (!schema.is(Kind::kObject)) return;
+
+  if (schema.has("type")) {
+    const std::string& type = schema.at("type").as_string();
+    if (!type_matches(v, type)) {
+      errors->push_back(cat(path, ": expected ", type));
+      return;  // further keywords assume the right shape
+    }
+  }
+
+  if (schema.has("const")) {
+    const Value& want = schema.at("const");
+    bool ok = want.kind == v.kind;
+    if (ok && want.is(Kind::kString)) ok = want.str == v.str;
+    if (ok && want.is(Kind::kNumber)) ok = want.number == v.number;
+    if (ok && want.is(Kind::kBool)) ok = want.boolean == v.boolean;
+    if (!ok) {
+      errors->push_back(cat(path, ": does not match const"));
+      return;
+    }
+  }
+
+  if (schema.has("minimum") && v.is(Kind::kNumber) &&
+      v.number < schema.at("minimum").as_number())
+    errors->push_back(cat(path, ": below minimum"));
+
+  if (v.is(Kind::kObject)) {
+    if (schema.has("required"))
+      for (const auto& key : schema.at("required").as_array())
+        if (!v.has(key->as_string()))
+          errors->push_back(
+              cat(path, ": missing required key '", key->as_string(), "'"));
+    if (schema.has("properties")) {
+      const Value& props = schema.at("properties");
+      for (const auto& [key, sub] : props.fields)
+        if (v.has(key)) validate_at(*sub, v.at(key), cat(path, "/", key),
+                                    errors);
+    }
+  }
+
+  if (v.is(Kind::kArray) && schema.has("items")) {
+    const Value& items = schema.at("items");
+    for (std::size_t i = 0; i < v.items.size(); ++i)
+      validate_at(items, *v.items[i], cat(path, "/", i), errors);
+  }
+}
+
+}  // namespace detail
+
+/// Validates `document` against `schema`; returns the list of violations
+/// (empty = valid), each as "<path>: <problem>".
+inline std::vector<std::string> validate(const Value& schema,
+                                         const Value& document) {
+  std::vector<std::string> errors;
+  detail::validate_at(schema, document, "", &errors);
+  return errors;
+}
+
+}  // namespace dpgen::json

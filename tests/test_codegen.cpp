@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "poly/parse.hpp"
 #include "problems/problems.hpp"
+#include "support/json_schema.hpp"
 #include "support/str.hpp"
 
 namespace dpgen::codegen {
@@ -206,15 +207,37 @@ TEST(EndToEnd, GeneratedLcsMatchesOracle) {
   ASSERT_EQ(status, 0) << out;
   EXPECT_DOUBLE_EQ(parse_result(out, p.objective), 4.0) << out;
 
-  // The generated program's --trace/--metrics flags produce a loadable
-  // Chrome trace (one tile_execute X event per tile) and a metrics dump.
+  // The generated program's --trace/--metrics/--report flags produce a
+  // loadable Chrome trace (one tile_execute X event per tile), a metrics
+  // dump, and a schema-valid performance report.
   if (obs::kTraceCompiled) {
     std::string trace = testing::TempDir() + "/dpgen_lcs_trace.json";
     std::string metrics = testing::TempDir() + "/dpgen_lcs_metrics.json";
+    std::string report = testing::TempDir() + "/dpgen_lcs_report.json";
     auto [tstatus, tout] = run_command(cat(
         prog.binary, args, " --ranks=2 --threads=2 --trace=", trace,
-        " --metrics=", metrics));
+        " --metrics=", metrics, " --report=", report));
     ASSERT_EQ(tstatus, 0) << tout;
+    {
+      std::ifstream rf(report);
+      ASSERT_TRUE(rf.good()) << "generated program wrote no report file";
+      std::stringstream rs;
+      rs << rf.rdbuf();
+      auto rdoc = json::parse(rs.str());
+      EXPECT_EQ(rdoc->at("schema").as_string(), "dpgen.report.v1");
+      EXPECT_EQ(rdoc->at("source").as_string(), "generated");
+      EXPECT_EQ(rdoc->at("problem").as_string(), "lcs2");
+      EXPECT_EQ(rdoc->at("nranks").as_number(), 2);
+      EXPECT_GE(rdoc->at("critical_path").at("length").as_number(), 1);
+      std::ifstream sf(DPGEN_SRC_DIR "/../tools/report_schema.json");
+      ASSERT_TRUE(sf.good());
+      std::stringstream schema_text;
+      schema_text << sf.rdbuf();
+      auto schema = json::parse(schema_text.str());
+      for (const auto& e : json::validate(*schema, *rdoc))
+        ADD_FAILURE() << e;
+      std::remove(report.c_str());
+    }
     std::ifstream tf(trace);
     ASSERT_TRUE(tf.good()) << "generated program wrote no trace file";
     std::stringstream ss;

@@ -176,6 +176,91 @@ TEST(MiniMpi, StatsCountMessagesAndBytes) {
   EXPECT_EQ(c.bytes_sent(), 14u);
 }
 
+TEST(MiniMpi, PerPeerStatsSumToTotals) {
+  World world(3);
+  Comm& c = world.comm(0);
+  std::vector<std::uint8_t> payload(10, 0);
+  c.send(1, 0, payload.data(), payload.size());
+  c.send(1, 0, payload.data(), 4);
+  c.send(2, 0, payload.data(), 7);
+  EXPECT_EQ(c.messages_sent_to(1), 2u);
+  EXPECT_EQ(c.bytes_sent_to(1), 14u);
+  EXPECT_EQ(c.messages_sent_to(2), 1u);
+  EXPECT_EQ(c.bytes_sent_to(2), 7u);
+  EXPECT_EQ(c.messages_sent_to(0), 0u);
+  // Row sums reproduce the per-comm totals.
+  std::uint64_t messages = 0, bytes = 0;
+  for (int r = 0; r < 3; ++r) {
+    messages += c.messages_sent_to(r);
+    bytes += c.bytes_sent_to(r);
+  }
+  EXPECT_EQ(messages, c.messages_sent());
+  EXPECT_EQ(bytes, c.bytes_sent());
+}
+
+TEST(MiniMpi, CommMatricesMatchPerPeerCounters) {
+  World world(3);
+  std::vector<std::uint8_t> payload(8, 0);
+  world.comm(0).send(1, 0, payload.data(), 8);
+  world.comm(0).send(2, 0, payload.data(), 3);
+  world.comm(1).send(2, 0, payload.data(), 5);
+  world.comm(2).send(0, 0, payload.data(), 1);
+  // Drain so the world can be torn down cleanly.
+  for (int r = 0; r < 3; ++r)
+    while (world.comm(r).try_recv()) {}
+
+  auto bytes = world.bytes_matrix();
+  auto messages = world.messages_matrix();
+  ASSERT_EQ(bytes.size(), 3u);
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(bytes[0][1], 8u);
+  EXPECT_EQ(bytes[0][2], 3u);
+  EXPECT_EQ(bytes[1][2], 5u);
+  EXPECT_EQ(bytes[2][0], 1u);
+  EXPECT_EQ(messages[0][1], 1u);
+  EXPECT_EQ(messages[1][0], 0u);
+  for (int src = 0; src < 3; ++src) {
+    std::uint64_t row_bytes = 0, row_messages = 0;
+    for (int dst = 0; dst < 3; ++dst) {
+      row_bytes += bytes[static_cast<std::size_t>(src)]
+                        [static_cast<std::size_t>(dst)];
+      row_messages += messages[static_cast<std::size_t>(src)]
+                              [static_cast<std::size_t>(dst)];
+    }
+    EXPECT_EQ(row_bytes, world.comm(src).bytes_sent()) << "rank " << src;
+    EXPECT_EQ(row_messages, world.comm(src).messages_sent())
+        << "rank " << src;
+  }
+}
+
+TEST(MiniMpi, CollectivesCountInPerPeerStats) {
+  // Collectives route through send(), so the comm matrix accounts for
+  // their traffic too and row sums keep matching messages_sent().
+  World world(3);
+  world.run([&](Comm& comm) {
+    long long v = comm.rank() == 0 ? 42 : 0;
+    comm.broadcast(0, &v, sizeof v);
+    EXPECT_EQ(v, 42);
+    std::uint8_t b = static_cast<std::uint8_t>(comm.rank());
+    std::vector<std::uint8_t> all;
+    comm.gather(0, &b, 1, comm.rank() == 0 ? &all : nullptr);
+  });
+  auto messages = world.messages_matrix();
+  // Broadcast: root sent to both non-roots.  Gather: both non-roots sent
+  // to the root.
+  EXPECT_GE(messages[0][1], 1u);
+  EXPECT_GE(messages[0][2], 1u);
+  EXPECT_GE(messages[1][0], 1u);
+  EXPECT_GE(messages[2][0], 1u);
+  for (int src = 0; src < 3; ++src) {
+    std::uint64_t row = 0;
+    for (int dst = 0; dst < 3; ++dst)
+      row += messages[static_cast<std::size_t>(src)]
+                     [static_cast<std::size_t>(dst)];
+    EXPECT_EQ(row, world.comm(src).messages_sent()) << "rank " << src;
+  }
+}
+
 TEST(MiniMpi, RunPropagatesExceptions) {
   World world(2);
   EXPECT_THROW(world.run([&](Comm& comm) {

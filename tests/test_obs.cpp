@@ -82,6 +82,88 @@ TEST(Metrics, RegistryJsonParsesAndKeepsHandles) {
   EXPECT_EQ(c.value(), 0);  // reset zeroes but the reference stays valid
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateLog2Buckets) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+
+  // A single observation is every quantile (clamped to [min, max]).
+  h.observe(100);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+
+  // 50 ones + 50 at 1024: the lower quantiles interpolate inside the
+  // [1, 2) bucket, the upper ones clamp to the recorded max.
+  obs::Histogram h2;
+  for (int i = 0; i < 50; ++i) h2.observe(1);
+  for (int i = 0; i < 50; ++i) h2.observe(1024);
+  EXPECT_DOUBLE_EQ(h2.quantile(0.25), 1.49);  // rank 25 of 50 in [1, 2)
+  EXPECT_DOUBLE_EQ(h2.quantile(0.75), 1024.0);
+  EXPECT_LE(h2.quantile(0.5), h2.quantile(0.95));
+  EXPECT_LE(h2.quantile(0.95), h2.quantile(0.99));
+
+  // All-zero observations sit in the dedicated zero bucket.
+  obs::Histogram h3;
+  h3.observe(0);
+  h3.observe(0);
+  EXPECT_DOUBLE_EQ(h3.quantile(0.99), 0.0);
+}
+
+TEST(Metrics, QuantilesAppearInTextAndJson) {
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& h = reg.histogram("test_obs.quantiles");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+
+  auto doc = json::parse(reg.to_json());
+  const auto& hist = doc->at("histograms").at("test_obs.quantiles");
+  ASSERT_TRUE(hist.has("p50"));
+  ASSERT_TRUE(hist.has("p95"));
+  ASSERT_TRUE(hist.has("p99"));
+  EXPECT_LE(hist.at("p50").as_number(), hist.at("p95").as_number());
+  EXPECT_LE(hist.at("p95").as_number(), hist.at("p99").as_number());
+  EXPECT_GE(hist.at("p50").as_number(), hist.at("min").as_number());
+  EXPECT_LE(hist.at("p99").as_number(), hist.at("max").as_number());
+
+  std::string text = reg.to_text();
+  EXPECT_NE(text.find("test_obs.quantiles.p50"), std::string::npos);
+  EXPECT_NE(text.find("test_obs.quantiles.p99"), std::string::npos);
+}
+
+// Regression: Gauge::reset() (and MetricsRegistry::reset(), which calls
+// it) must clear the high-water mark too, not just the level — otherwise
+// a peak from a previous run leaks into the next run's report.
+TEST(Metrics, ResetClearsGaugeHighWaterMark) {
+  obs::Gauge g;
+  g.set(7);
+  g.set(3);
+  ASSERT_EQ(g.max(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 0);
+  g.set(2);
+  EXPECT_EQ(g.max(), 2) << "stale high-water mark survived reset()";
+
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Gauge& rg = reg.gauge("test_obs.reset_gauge");
+  rg.set(99);
+  rg.set(1);
+  reg.reset();
+  EXPECT_EQ(rg.max(), 0);
+}
+
+TEST(Export, ChromeTraceCarriesDroppedSpanCount) {
+  std::vector<obs::Span> spans(1);
+  spans[0].start_ns = 0;
+  spans[0].end_ns = 10;
+  spans[0].phase = obs::Phase::kTileExecute;
+
+  auto doc = json::parse(obs::chrome_trace_json(spans, /*dropped=*/5));
+  EXPECT_EQ(doc->at("metadata").at("spans_dropped").as_number(), 5);
+  auto clean = json::parse(obs::chrome_trace_json(spans));
+  EXPECT_EQ(clean->at("metadata").at("spans_dropped").as_number(), 0);
+}
+
 TEST(Tracer, RecordsPerThreadAndCollectsByRank) {
   if (!obs::kTraceCompiled) GTEST_SKIP() << "built with DPGEN_TRACE=0";
   obs::Tracer& tracer = obs::Tracer::instance();

@@ -1,0 +1,338 @@
+// dpgen-analyze: turn a recorded run into an attributed performance report.
+//
+// Three input paths, one output format (schema dpgen.report.v1, see
+// tools/report_schema.json and docs/observability.md):
+//
+//   dpgen-analyze --problem=lcs --params=96,96 --ranks=2 --threads=2
+//       runs the bundled problem through the engine with tracing on and
+//       reports the measured run (writes the JSON report, prints the text
+//       report to stdout).
+//
+//   dpgen-analyze --problem=lcs --params=96,96 --sim --nodes=4 --cores=4
+//       reports the cluster simulator's predicted schedule for the same
+//       problem instead of a measured run.
+//
+//   dpgen-analyze --trace=run_trace.json [--problem=... --params=...]
+//       re-ingests a Chrome trace exported by --trace= / trace_json_path.
+//       Naming the problem restores the tile-dependency offsets and the
+//       Ehrhart baseline; without it the critical path degenerates and the
+//       load-balance audit shows measured shares only.  Per-peer counters
+//       are not part of a trace, so the comm matrix is empty here.
+//
+//   dpgen-analyze --validate=report.json --schema=tools/report_schema.json
+//       validates a report against the schema (exit 1 on violations).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+#include "problems/problems.hpp"
+#include "sim/cluster_sim.hpp"
+#include "support/json.hpp"
+#include "support/json_schema.hpp"
+#include "support/str.hpp"
+#include "tiling/balance.hpp"
+#include "tiling/model.hpp"
+
+namespace {
+
+using namespace dpgen;
+
+struct Options {
+  std::string problem;
+  IntVec params;
+  int ranks = 2;
+  int threads = 2;
+  bool sim = false;
+  int nodes = 4;
+  int cores = 4;
+  std::string report_path = "dpgen_report.json";
+  std::string trace_out;
+  std::string trace_in;
+  std::string validate_path;
+  std::string schema_path;
+  bool list = false;
+};
+
+/// One bundled problem the CLI can run: factory + default parameters.
+/// Sequence problems synthesize deterministic random DNA of the requested
+/// lengths, so `--params` stays a plain list of integers everywhere.
+struct Entry {
+  const char* name;
+  const char* params_help;
+  IntVec defaults;
+  problems::Problem (*make)(const IntVec& params);
+};
+
+std::vector<std::string> dna(const IntVec& lengths) {
+  std::vector<std::string> seqs;
+  for (std::size_t i = 0; i < lengths.size(); ++i)
+    seqs.push_back(problems::random_dna(
+        static_cast<std::size_t>(lengths[i]), static_cast<unsigned>(i + 1)));
+  return seqs;
+}
+
+const Entry kEntries[] = {
+    {"bandit2", "N", {12},
+     [](const IntVec&) { return problems::bandit2(); }},
+    {"bandit3", "N", {6},
+     [](const IntVec&) { return problems::bandit3(); }},
+    {"bandit2_delay", "N", {8},
+     [](const IntVec&) { return problems::bandit2_delay(); }},
+    {"lcs", "len1,len2[,len3]", {96, 96},
+     [](const IntVec& p) { return problems::lcs(dna(p)); }},
+    {"edit_distance", "len1,len2", {96, 96},
+     [](const IntVec& p) {
+       auto s = dna(p);
+       return problems::edit_distance(s[0], s[1]);
+     }},
+    {"smith_waterman", "len1,len2", {96, 96},
+     [](const IntVec& p) {
+       auto s = dna(p);
+       return problems::smith_waterman(s[0], s[1]);
+     }},
+    {"align_affine", "len1,len2", {64, 64},
+     [](const IntVec& p) {
+       auto s = dna(p);
+       return problems::align_affine(s[0], s[1]);
+     }},
+    {"msa", "len1,len2[,len3]", {32, 32},
+     [](const IntVec& p) { return problems::msa(dna(p)); }},
+    {"coin_change", "C", {256},
+     [](const IntVec&) { return problems::coin_change({1, 5, 9}); }},
+    {"seam_carving", "T,S", {64, 64},
+     [](const IntVec&) { return problems::seam_carving(); }},
+};
+
+const Entry* find_entry(const std::string& name) {
+  for (const Entry& e : kEntries)
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+IntVec parse_csv(const std::string& text) {
+  IntVec out;
+  for (const std::string& part : split(text, ","))
+    out.push_back(std::atoll(part.c_str()));
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "dpgen-analyze: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --problem=NAME [--params=a,b,..] [--ranks=R] [--threads=T]\n"
+      "          [--report=FILE] [--trace-out=FILE]\n"
+      "       %s --problem=NAME --sim [--nodes=N] [--cores=C] "
+      "[--report=FILE]\n"
+      "       %s --trace=FILE [--problem=NAME --params=..] [--report=FILE]\n"
+      "       %s --validate=REPORT --schema=SCHEMA\n"
+      "       %s --list\n",
+      argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+/// "(a, b, c)" -> {a, b, c} (the exporter's args.tile rendering).
+IntVec parse_tile(const std::string& text) {
+  IntVec out;
+  std::string body = text;
+  if (!body.empty() && body.front() == '(') body = body.substr(1);
+  if (!body.empty() && body.back() == ')') body.pop_back();
+  if (trim(body).empty()) return out;
+  for (const std::string& part : split(body, ","))
+    out.push_back(std::atoll(trim(part).c_str()));
+  return out;
+}
+
+/// Re-ingests a Chrome trace-event document into analyzer spans.
+void load_trace(const std::string& path, obs::AnalysisInput* in) {
+  json::ValuePtr doc = json::parse(read_file(path));
+  if (doc->has("metadata") && doc->at("metadata").has("spans_dropped"))
+    in->spans_dropped = static_cast<std::uint64_t>(
+        doc->at("metadata").at("spans_dropped").as_number());
+  for (const json::ValuePtr& ev : doc->at("traceEvents").as_array()) {
+    if (!ev->has("ph") || ev->at("ph").as_string() != "X") continue;
+    obs::Phase phase;
+    if (!ev->has("args") || !ev->at("args").has("phase") ||
+        !obs::phase_from_name(ev->at("args").at("phase").as_string(),
+                              &phase))
+      continue;
+    obs::Span s;
+    const double ts_us = ev->at("ts").as_number();
+    const double dur_us = ev->at("dur").as_number();
+    s.start_ns = static_cast<std::int64_t>(ts_us * 1e3);
+    s.end_ns = static_cast<std::int64_t>((ts_us + dur_us) * 1e3);
+    s.rank = static_cast<std::int16_t>(ev->at("pid").as_number());
+    s.thread = static_cast<std::int16_t>(ev->at("tid").as_number());
+    s.phase = phase;
+    if (ev->at("args").has("tile")) {
+      IntVec tile = parse_tile(ev->at("args").at("tile").as_string());
+      s.ncoord = static_cast<std::uint8_t>(
+          std::min<std::size_t>(tile.size(), obs::kMaxSpanDims));
+      for (std::size_t k = 0; k < s.ncoord; ++k)
+        s.coord[k] = static_cast<std::int32_t>(tile[k]);
+    }
+    in->spans.push_back(s);
+  }
+}
+
+int run_validate(const Options& opt) {
+  if (opt.schema_path.empty()) {
+    std::fprintf(stderr,
+                 "dpgen-analyze: --validate needs --schema=FILE\n");
+    return 2;
+  }
+  json::ValuePtr schema = json::parse(read_file(opt.schema_path));
+  json::ValuePtr report = json::parse(read_file(opt.validate_path));
+  std::vector<std::string> errors = json::validate(*schema, *report);
+  for (const std::string& e : errors)
+    std::fprintf(stderr, "dpgen-analyze: schema violation %s\n", e.c_str());
+  if (errors.empty())
+    std::printf("%s: valid (%s)\n", opt.validate_path.c_str(),
+                opt.schema_path.c_str());
+  return errors.empty() ? 0 : 1;
+}
+
+int run_trace(const Options& opt) {
+  obs::AnalysisInput in;
+  in.source = "trace";
+  load_trace(opt.trace_in, &in);
+  if (!opt.problem.empty()) {
+    const Entry* entry = find_entry(opt.problem);
+    if (!entry) {
+      std::fprintf(stderr, "dpgen-analyze: unknown problem '%s'\n",
+                   opt.problem.c_str());
+      return 2;
+    }
+    IntVec params = in.params = !opt.params.empty() ? opt.params
+                                                    : entry->defaults;
+    problems::Problem problem = entry->make(params);
+    tiling::TilingModel model(problem.spec);
+    in.problem = entry->name;
+    for (const auto& e : model.edges()) in.edge_offsets.push_back(e.offset);
+    int nranks = 0;
+    for (const obs::Span& s : in.spans)
+      nranks = std::max(nranks, static_cast<int>(s.rank) + 1);
+    if (nranks > 0) {
+      in.nranks = nranks;
+      tiling::LoadBalancer balancer(model, params, nranks);
+      for (int r = 0; r < nranks; ++r)
+        in.predicted_work.push_back(
+            static_cast<double>(balancer.owned_work(r)));
+    }
+  } else {
+    std::fprintf(stderr,
+                 "dpgen-analyze: note: no --problem given; dependency "
+                 "offsets and the Ehrhart baseline are unavailable\n");
+  }
+  std::fprintf(stderr,
+               "dpgen-analyze: note: per-peer comm counters are not part "
+               "of a trace; the comm matrix is empty\n");
+  obs::AnalysisReport report = obs::analyze(in);
+  obs::write_report_json(opt.report_path, report);
+  std::fputs(obs::report_text(report).c_str(), stdout);
+  std::printf("\nreport written to %s\n", opt.report_path.c_str());
+  return 0;
+}
+
+int run_problem(const Options& opt) {
+  const Entry* entry = find_entry(opt.problem);
+  if (!entry) {
+    std::fprintf(stderr, "dpgen-analyze: unknown problem '%s'\n",
+                 opt.problem.c_str());
+    return 2;
+  }
+  IntVec params = !opt.params.empty() ? opt.params : entry->defaults;
+  problems::Problem problem = entry->make(params);
+  tiling::TilingModel model(problem.spec);
+
+  if (opt.sim) {
+    sim::ClusterConfig cfg;
+    cfg.nodes = opt.nodes;
+    cfg.cores_per_node = opt.cores;
+    cfg.record_timeline = true;
+    sim::SimResult res = sim::simulate(model, params, cfg);
+    obs::AnalysisReport report =
+        obs::analyze(sim::analysis_input(res, model, params, cfg));
+    obs::write_report_json(opt.report_path, report);
+    std::fputs(obs::report_text(report).c_str(), stdout);
+    std::printf("\nreport written to %s\n", opt.report_path.c_str());
+    return 0;
+  }
+
+  engine::EngineOptions eopt;
+  eopt.ranks = opt.ranks;
+  eopt.threads = opt.threads;
+  eopt.report_json_path = opt.report_path;
+  eopt.trace_json_path = opt.trace_out;
+  engine::EngineResult result =
+      engine::run(model, params, problem.kernel, eopt);
+  std::fputs(obs::report_text(*result.report).c_str(), stdout);
+  std::printf("\nreport written to %s\n", opt.report_path.c_str());
+  if (!opt.trace_out.empty())
+    std::printf("trace written to %s\n", opt.trace_out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? argv[i] + n : nullptr;
+    };
+    if (const char* v = value("--problem=")) opt.problem = v;
+    else if (const char* v = value("--params=")) opt.params = parse_csv(v);
+    else if (const char* v = value("--ranks=")) opt.ranks = std::atoi(v);
+    else if (const char* v = value("--threads=")) opt.threads = std::atoi(v);
+    else if (arg == "--sim") opt.sim = true;
+    else if (const char* v = value("--nodes=")) opt.nodes = std::atoi(v);
+    else if (const char* v = value("--cores=")) opt.cores = std::atoi(v);
+    else if (const char* v = value("--report=")) opt.report_path = v;
+    else if (const char* v = value("--trace-out=")) opt.trace_out = v;
+    else if (const char* v = value("--trace=")) opt.trace_in = v;
+    else if (const char* v = value("--validate=")) opt.validate_path = v;
+    else if (const char* v = value("--schema=")) opt.schema_path = v;
+    else if (arg == "--list") opt.list = true;
+    else return usage(argv[0]);
+  }
+
+  if (opt.list) {
+    for (const Entry& e : kEntries) {
+      std::string defaults;
+      for (std::size_t k = 0; k < e.defaults.size(); ++k)
+        defaults += dpgen::cat(k ? "," : "", e.defaults[k]);
+      std::printf("%-14s params: %-18s default: %s\n", e.name,
+                  e.params_help, defaults.c_str());
+    }
+    return 0;
+  }
+  try {
+    if (!opt.validate_path.empty()) return run_validate(opt);
+    if (!opt.trace_in.empty()) return run_trace(opt);
+    if (!opt.problem.empty()) return run_problem(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dpgen-analyze: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}
