@@ -15,6 +15,45 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+/// One engine run for the registered ablation points; returns the rank-0
+/// wall seconds plus scheduler counters.
+obs::BenchSample ablation_sample(const engine::EngineOptions& base) {
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  engine::EngineOptions opt = base;
+  opt.probes = {p.objective};
+  auto result = engine::run(model, {28}, p.kernel, opt);
+  obs::BenchSample s;
+  long long blocked = 0;
+  for (const auto& rs : result.rank_stats) {
+    s.seconds = std::max(s.seconds, rs.total_seconds);
+    blocked += static_cast<long long>(rs.blocked_sends);
+  }
+  s.metrics = {
+      {"tiles",
+       static_cast<double>(result.total(&runtime::RunStats::tiles_executed))},
+      {"blocked_sends", static_cast<double>(blocked)}};
+  return s;
+}
+
+[[maybe_unused]] const bool registered = [] {
+  register_bench("ablation/shards2_threads2", [] {
+    engine::EngineOptions opt;
+    opt.threads = 2;
+    opt.queue_shards = 2;
+    return ablation_sample(opt);
+  });
+  register_bench("ablation/mailbox_cap1_r2", [] {
+    engine::EngineOptions opt;
+    opt.ranks = 2;
+    opt.mailbox_capacity = 1;
+    return ablation_sample(opt);
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void policy_table() {
   header("ABL-POLICY",
          "engine runs: peak buffered edges under each priority policy");
@@ -96,8 +135,11 @@ void BM_EnginePolicy(benchmark::State& state) {
 }
 BENCHMARK(BM_EnginePolicy)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   policy_table();
   shard_table();
@@ -106,3 +148,4 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }
+#endif

@@ -66,6 +66,26 @@ obs::AnalysisInput synthetic_trace(Int n, int ranks) {
   return in;
 }
 
+[[maybe_unused]] const bool registered = [] {
+  register_bench("analysis/grid64_r4", [] {
+    obs::AnalysisInput in = synthetic_trace(64, 4);
+    const auto t0 = std::chrono::steady_clock::now();
+    obs::AnalysisReport report = obs::analyze(in);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {
+        {"spans", static_cast<double>(in.spans.size())},
+        {"spans_per_s",
+         s.seconds > 0 ? static_cast<double>(in.spans.size()) / s.seconds
+                       : 0.0},
+        {"path_len", static_cast<double>(report.critical_path.size())}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void analysis_table() {
   header("ANALYSIS", "obs::analyze() throughput on synthetic traces");
   std::printf("%-14s %-10s %-10s %-12s %-14s %-10s\n", "config", "spans",
@@ -129,8 +149,11 @@ void BM_ReportJson(benchmark::State& state) {
 }
 BENCHMARK(BM_ReportJson);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   dpgen::benchutil::parse_json_flag(&argc, argv);
   analysis_table();
@@ -139,3 +162,4 @@ int main(int argc, char** argv) {
   dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }
+#endif

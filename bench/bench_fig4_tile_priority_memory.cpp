@@ -14,6 +14,26 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+[[maybe_unused]] const bool registered = [] {
+  register_bench("fig4/sim_grid_n16_column", [] {
+    tiling::TilingModel model(grid_spec(4));
+    IntVec params{4 * 16 - 1};
+    sim::ClusterConfig cfg;
+    cfg.policy = runtime::PriorityPolicy::kColumnMajor;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::simulate(model, params, cfg);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"peak_buffered_edges",
+                  static_cast<double>(r.peak_buffered_edges)},
+                 {"tiles", static_cast<double>(r.tiles)}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void fig4_table() {
   header("FIG4",
          "peak buffered edges: column-major vs level-set priority, 1 core");
@@ -78,8 +98,11 @@ void BM_SimulateGridColumnMajor(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateGridColumnMajor)->Arg(8)->Arg(16)->Arg(32);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   dpgen::benchutil::parse_json_flag(&argc, argv);
   fig4_table();
@@ -88,3 +111,4 @@ int main(int argc, char** argv) {
   dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }
+#endif

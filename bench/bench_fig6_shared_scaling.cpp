@@ -13,6 +13,7 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+#ifdef DPGEN_BENCH_STANDALONE
 struct Workload {
   const char* name;
   spec::ProblemSpec spec;
@@ -42,6 +43,26 @@ std::vector<Workload> workloads() {
   }
   return w;
 }
+#endif  // DPGEN_BENCH_STANDALONE
+
+[[maybe_unused]] const bool registered = [] {
+  register_bench("fig6/sim_bandit2_c24", [] {
+    tiling::TilingModel model(problems::bandit2(8).spec);
+    sim::ClusterConfig cfg;
+    cfg.cores_per_node = 24;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::simulate(model, {255}, cfg);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"speedup", r.speedup()},
+                 {"tiles", static_cast<double>(r.tiles)},
+                 {"utilization", r.utilization}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
 
 void fig6_table() {
   header("FIG6", "shared-memory scaling: speedup vs cores on one node");
@@ -82,8 +103,11 @@ void BM_Simulate24Cores(benchmark::State& state) {
 }
 BENCHMARK(BM_Simulate24Cores)->Arg(63)->Arg(127);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   dpgen::benchutil::parse_json_flag(&argc, argv);
   fig6_table();
@@ -92,3 +116,4 @@ int main(int argc, char** argv) {
   dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }
+#endif

@@ -12,6 +12,7 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+#ifdef DPGEN_BENCH_STANDALONE
 struct Workload {
   const char* name;
   spec::ProblemSpec spec;
@@ -25,6 +26,29 @@ std::vector<Workload> workloads() {
   w.push_back({"grid2d", grid_spec(8), 4'000'000});
   return w;
 }
+#endif  // DPGEN_BENCH_STANDALONE
+
+[[maybe_unused]] const bool registered = [] {
+  register_bench("fig7/sim_bandit2_nodes4", [] {
+    tiling::TilingModel model(problems::bandit2(8).spec);
+    Int n = size_for_cells(model, 1'000'000);
+    sim::ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.cores_per_node = 24;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::simulate(model, {n}, cfg);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"cells", static_cast<double>(model.total_cells({n}))},
+                 {"tiles", static_cast<double>(r.tiles)},
+                 {"remote_messages",
+                  static_cast<double>(r.remote_messages)}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
 
 void fig7_table() {
   header("FIG7",
@@ -83,8 +107,11 @@ void BM_WeakScalePoint(benchmark::State& state) {
 }
 BENCHMARK(BM_WeakScalePoint)->Arg(1)->Arg(4)->Arg(8);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   dpgen::benchutil::parse_json_flag(&argc, argv);
   fig7_table();
@@ -93,3 +120,4 @@ int main(int argc, char** argv) {
   dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }
+#endif

@@ -34,6 +34,30 @@ System simplex_system(int d) {
   return s;
 }
 
+[[maybe_unused]] const bool registered = [] {
+  register_bench("fm/eliminate_simplex8", [] {
+    System s = simplex_system(8);
+    const auto t0 = std::chrono::steady_clock::now();
+    System cur = s;
+    for (int k = 8; k >= 1; --k) cur = cur.eliminated(k);
+    obs::BenchSample sample;
+    sample.seconds = seconds_since(t0);
+    sample.metrics = {{"final_constraints", static_cast<double>(cur.size())}};
+    return sample;
+  });
+  register_bench("fm/tiling_model_simplex4", [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    tiling::TilingModel model(simplex_spec(4, 4));
+    obs::BenchSample sample;
+    sample.seconds = seconds_since(t0);
+    sample.metrics = {{"edges", static_cast<double>(model.num_edges())}};
+    return sample;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void fm_table() {
   header("FMPERF", "constraints produced vs kept per FM elimination step");
   std::printf("%-6s %-8s %-10s %-10s %-10s\n", "d", "step", "before",
@@ -73,11 +97,15 @@ void BM_TilingModelConstruction(benchmark::State& state) {
 BENCHMARK(BM_TilingModelConstruction)->Arg(2)->Arg(4)->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   fm_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }
+#endif

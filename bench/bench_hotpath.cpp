@@ -16,6 +16,8 @@
 
 #include "bench_util.hpp"
 
+#include <chrono>
+
 #include "engine/engine.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/tile_table.hpp"
@@ -58,6 +60,76 @@ HotpathRow run_once(const tiling::TilingModel& model, Int n, int ranks) {
   row.pool_hits = counter_value("runtime.pool_hit") - hit0;
   return row;
 }
+
+/// One pass of the deliver/pop pattern BM_TableDeliverPop measures, shared
+/// with the registry entry below.
+double table_deliver_pop_once(Int n) {
+  runtime::TileOrder order({0, 1}, {1, 1},
+                           runtime::PriorityPolicy::kColumnMajor);
+  auto deps = [&](const IntVec& t) {
+    return (t[0] > 0 ? 1 : 0) + (t[1] > 0 ? 1 : 0);
+  };
+  std::vector<double> payload(4, 1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::ShardedTileTable<double> table(order, 1);
+  table.seed_ready({0, 0});
+  long long popped = 0;
+  while (auto ready = table.pop(0)) {
+    ++popped;
+    const IntVec& t = ready->tile;
+    for (int k = 0; k < 2; ++k) {
+      IntVec c = t;
+      c[static_cast<std::size_t>(k)] += 1;
+      if (c[0] >= n || c[1] >= n) continue;
+      table.deliver(c, deps, runtime::EdgeData<double>{k, payload});
+    }
+  }
+  if (popped != n * n) return -1.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// dpgen-bench entries: the same workloads as the table, at sizes small
+/// enough for repeated gated trials.
+obs::BenchSample hotpath_sample(Int width, Int n, int ranks) {
+  tiling::TilingModel model(grid_spec(width));
+  std::int64_t bytes0 =
+      obs::MetricsRegistry::instance().counter("comm.bytes_sent").value();
+  HotpathRow row = run_once(model, n, ranks);
+  const double bytes_on_wire = static_cast<double>(
+      obs::MetricsRegistry::instance().counter("comm.bytes_sent").value() -
+      bytes0);
+  obs::BenchSample s;
+  s.seconds = row.seconds;
+  const double eps = row.seconds > 0 ? row.edges / row.seconds : 0.0;
+  const double pool_total =
+      static_cast<double>(row.pool_hits + row.edge_allocs);
+  s.metrics = {{"tiles", static_cast<double>(row.tiles)},
+               {"edges", static_cast<double>(row.edges)},
+               {"edges_per_s", eps},
+               {"pool_hit_pct", pool_total > 0
+                                    ? 100.0 * row.pool_hits / pool_total
+                                    : 0.0},
+               {"bytes_on_wire", bytes_on_wire}};
+  return s;
+}
+
+[[maybe_unused]] const bool registered = [] {
+  register_bench("hotpath/grid_w2",
+                 [] { return hotpath_sample(2, 255, 1); });
+  register_bench("hotpath/grid_w2_r2",
+                 [] { return hotpath_sample(2, 255, 2); });
+  register_bench("hotpath/table_deliver_pop", [] {
+    obs::BenchSample s;
+    const Int n = 64;
+    s.seconds = table_deliver_pop_once(n);
+    s.metrics = {{"edges", static_cast<double>(2 * n * n)}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
 
 void hotpath_table() {
   header("HOTPATH", "edge-dominated driver throughput (small tiles)");
@@ -110,34 +182,19 @@ void hotpath_table() {
 /// dependencies are satisfied, mimicking the driver's delivery pattern.
 void BM_TableDeliverPop(benchmark::State& state) {
   const Int n = state.range(0);
-  runtime::TileOrder order({0, 1}, {1, 1},
-                           runtime::PriorityPolicy::kColumnMajor);
-  auto deps = [&](const IntVec& t) {
-    return (t[0] > 0 ? 1 : 0) + (t[1] > 0 ? 1 : 0);
-  };
-  std::vector<double> payload(4, 1.0);
   for (auto _ : state) {
-    runtime::ShardedTileTable<double> table(order, 1);
-    table.seed_ready({0, 0});
-    long long popped = 0;
-    while (auto ready = table.pop(0)) {
-      ++popped;
-      const IntVec& t = ready->tile;
-      for (int k = 0; k < 2; ++k) {
-        IntVec c = t;
-        c[static_cast<std::size_t>(k)] += 1;
-        if (c[0] >= n || c[1] >= n) continue;
-        table.deliver(c, deps, runtime::EdgeData<double>{k, payload});
-      }
-    }
-    if (popped != n * n) state.SkipWithError("wrong pop count");
+    if (table_deliver_pop_once(n) < 0)
+      state.SkipWithError("wrong pop count");
   }
   state.SetItemsProcessed(state.iterations() * n * n * 2);
 }
 BENCHMARK(BM_TableDeliverPop)->Arg(64)->Arg(128);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   dpgen::benchutil::parse_json_flag(&argc, argv);
   hotpath_table();
@@ -146,3 +203,4 @@ int main(int argc, char** argv) {
   dpgen::benchutil::JsonSink::instance().flush();
   return 0;
 }
+#endif

@@ -12,6 +12,22 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+[[maybe_unused]] const bool registered = [] {
+  register_bench("initial_tiles/scan_bandit2_n80", [] {
+    tiling::TilingModel model(problems::bandit2(4).spec);
+    IntVec params{80};
+    const auto t0 = std::chrono::steady_clock::now();
+    Int scanned = model.for_each_initial_tile(params, [](const IntVec&) {});
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"candidates", static_cast<double>(scanned)}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void init_table() {
   header("INIT", "initial-tile scan cost vs total run");
   std::printf("%-10s %-8s %-10s %-12s %-12s %-10s\n", "problem", "N",
@@ -67,11 +83,15 @@ void BM_DepCount(benchmark::State& state) {
 }
 BENCHMARK(BM_DepCount);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   init_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }
+#endif

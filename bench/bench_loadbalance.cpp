@@ -18,6 +18,37 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+[[maybe_unused]] const bool registered = [] {
+  register_bench("loadbalance/balancer_bandit2_n127_r8", [] {
+    tiling::TilingModel model(problems::bandit2(8).spec);
+    IntVec params{127};
+    const auto t0 = std::chrono::steady_clock::now();
+    tiling::LoadBalancer lb(model, params, 8);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"imbalance", lb.imbalance()},
+                 {"cells", static_cast<double>(lb.num_cells())}};
+    return s;
+  });
+  register_bench("loadbalance/sim_hyperplane_nodes4", [] {
+    tiling::TilingModel model(problems::bandit2(8).spec);
+    sim::ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.cores_per_node = 8;
+    cfg.balance = tiling::BalanceMethod::kHyperplane;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::simulate(model, {127}, cfg);
+    obs::BenchSample s;
+    s.seconds = seconds_since(t0);
+    s.metrics = {{"utilization", r.utilization},
+                 {"tiles", static_cast<double>(r.tiles)}};
+    return s;
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void lb_table() {
   header("LB", "work imbalance (max/avg) vs number of balanced dimensions");
   std::printf("%-8s %-7s %-8s %-12s %-12s\n", "space", "nodes", "lbdims",
@@ -79,8 +110,11 @@ void BM_OwnerLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_OwnerLookup);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   lb_table();
   lbalt_table();
@@ -88,3 +122,4 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }
+#endif

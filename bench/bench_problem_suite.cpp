@@ -12,6 +12,48 @@ namespace {
 using namespace dpgen;
 using namespace dpgen::benchutil;
 
+/// One engine run for the registered suite points: cells/s through the
+/// full tiled scheduler at sizes small enough for repeated trials.
+obs::BenchSample suite_sample(const problems::Problem& p,
+                              const IntVec& params) {
+  tiling::TilingModel model(p.spec);
+  Int cells = model.total_cells(params);
+  engine::EngineOptions opt;
+  opt.probes = {p.objective};
+  auto result = engine::run(model, params, p.kernel, opt);
+  obs::BenchSample s;
+  s.seconds = result.rank_stats[0].total_seconds;
+  s.metrics = {
+      {"cells", static_cast<double>(cells)},
+      {"tiles",
+       static_cast<double>(result.total(&runtime::RunStats::tiles_executed))},
+      {"cells_per_s",
+       s.seconds > 0 ? static_cast<double>(cells) / s.seconds : 0.0}};
+  return s;
+}
+
+[[maybe_unused]] const bool registered = [] {
+  register_bench("suite/lcs2_n150", [] {
+    auto seqs = std::vector<std::string>{problems::random_dna(150, 4),
+                                         problems::random_dna(150, 5)};
+    return suite_sample(problems::lcs(seqs, 16),
+                        problems::sequence_params(seqs));
+  });
+  register_bench("suite/msa3_n40", [] {
+    auto seqs = std::vector<std::string>{problems::random_dna(40, 1),
+                                         problems::random_dna(40, 2),
+                                         problems::random_dna(40, 3)};
+    return suite_sample(problems::msa(seqs, 8),
+                        problems::sequence_params(seqs));
+  });
+  register_bench("suite/seam_200x200", [] {
+    return suite_sample(problems::seam_carving(32), {200, 200});
+  });
+  return true;
+}();
+
+#ifdef DPGEN_BENCH_STANDALONE
+
 void suite_table() {
   header("SUITE", "engine throughput per problem (1 rank, 1 thread)");
   std::printf("%-14s %-14s %-10s %-12s %-14s\n", "problem", "cells",
@@ -94,11 +136,15 @@ void BM_EngineSeam(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSeam)->Unit(benchmark::kMillisecond);
 
+#endif  // DPGEN_BENCH_STANDALONE
+
 }  // namespace
 
+#ifdef DPGEN_BENCH_STANDALONE
 int main(int argc, char** argv) {
   suite_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }
+#endif

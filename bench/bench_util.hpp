@@ -5,23 +5,35 @@
 // header so EXPERIMENTS.md can be cross-checked mechanically, then runs its
 // google-benchmark microbenchmarks.
 //
-// Passing `--json <path>` (or `--json=<path>`) makes the bench also write
-// every table data point as a machine-readable record
+// Each bench .cpp is compiled twice: standalone (DPGEN_BENCH_STANDALONE,
+// with its printf tables, BENCHMARK() micros and main) and into the
+// dpgen_benchsuite object library (registrations into obs::BenchRegistry
+// only), so tools/dpgen-bench can run every bench with repeated trials and
+// gate the medians against an archived baseline.
+//
+// Standalone binaries still accept `--json <path>` / `--json=<path>`: every
+// table data point is written as a machine-readable record
 //   {"bench": ..., "config": ..., "seconds": ..., "metrics": {...}}
-// so sweeps can be diffed across commits without parsing printf tables.
-// The flag is stripped before google-benchmark sees argv.
+// rendered through json::Writer (strings escaped, NaN/inf as null), so
+// sweeps can be diffed across commits without parsing printf tables.  The
+// flag is stripped before google-benchmark sees argv.
 
+#ifdef DPGEN_BENCH_STANDALONE
 #include <benchmark/benchmark.h>
+#endif
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/bench_registry.hpp"
 #include "problems/problems.hpp"
 #include "sim/cluster_sim.hpp"
 #include "spec/problem_spec.hpp"
+#include "support/json.hpp"
 #include "tiling/model.hpp"
 
 namespace dpgen::benchutil {
@@ -42,17 +54,16 @@ class JsonSink {
               double seconds,
               const std::vector<std::pair<std::string, double>>& metrics) {
     if (!active()) return;
-    std::string r = "  {\"bench\": \"" + bench + "\", \"config\": \"" +
-                    config + "\", \"seconds\": " + num(seconds) +
-                    ", \"metrics\": {";
-    bool first = true;
-    for (const auto& [name, value] : metrics) {
-      if (!first) r += ", ";
-      first = false;
-      r += "\"" + name + "\": " + num(value);
-    }
-    r += "}}";
-    records_.push_back(std::move(r));
+    json::Writer w;
+    w.begin_object();
+    w.key("bench").value(bench);
+    w.key("config").value(config);
+    w.key("seconds").value(seconds);
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : metrics) w.key(name).value(value);
+    w.end_object();
+    w.end_object();
+    records_.push_back(w.str());
   }
 
   /// Writes the collected records; call once at the end of main().
@@ -65,19 +76,13 @@ class JsonSink {
     }
     std::fputs("[\n", f);
     for (std::size_t i = 0; i < records_.size(); ++i)
-      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+      std::fprintf(f, "  %s%s\n", records_[i].c_str(),
                    i + 1 < records_.size() ? "," : "");
     std::fputs("]\n", f);
     std::fclose(f);
   }
 
  private:
-  static std::string num(double v) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.12g", v);
-    return buf;
-  }
-
   std::string path_;
   std::vector<std::string> records_;
 };
@@ -166,6 +171,21 @@ inline Int size_for_cells(const tiling::TilingModel& model, Int target) {
 
 inline void header(const char* exp_id, const char* what) {
   std::printf("# %s  %s\n", exp_id, what);
+}
+
+/// Seconds elapsed since `t0` (steady clock); trial-timing shorthand for
+/// the registered benches.
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Registers `name` in the process-wide BenchRegistry; used from a static
+/// initializer in each bench .cpp so the same objects serve both the
+/// standalone binary and the dpgen-bench runner.
+inline bool register_bench(const std::string& name,
+                           std::function<obs::BenchSample()> fn) {
+  return obs::BenchRegistry::instance().add(name, std::move(fn));
 }
 
 }  // namespace dpgen::benchutil

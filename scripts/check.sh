@@ -7,7 +7,11 @@
 #     and the suite still passes with every span compiled out,
 #   * a Release (-O2 -DNDEBUG) build-and-bench smoke: bench_hotpath with
 #     --json, archived under bench-archive/ — the numbers BENCH_hotpath.json
-#     tracks across commits.
+#     tracks across commits,
+#   * the continuous-benchmarking gate: dpgen-bench runs a quick subset,
+#     validates the emitted dpgen.bench.v1 document, archives the run,
+#     gates it against the per-machine auto-baseline (established on the
+#     first run), and self-tests that an injected 4x slowdown fires.
 # Usage: scripts/check.sh [--quick]   (--quick skips benches and flavours)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -70,12 +74,37 @@ if [[ "${1:-}" != "--quick" ]]; then
 
   echo "==== Release bench smoke (hot-path throughput)"
   cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release --target bench_hotpath
+  cmake --build build-release --target bench_hotpath dpgen-bench
   mkdir -p bench-archive
   stamp="$(date +%Y%m%d-%H%M%S)"
   build-release/bench/bench_hotpath \
     --json "bench-archive/hotpath-${stamp}.json" \
     --benchmark_filter=BM_TableDeliverPop
   echo "archived bench-archive/hotpath-${stamp}.json"
+
+  echo "==== continuous-benchmarking gate (dpgen-bench)"
+  # A quick, ms-scale subset: run with repeated trials, validate the
+  # emitted document, archive it (for --trend), and gate against the
+  # per-machine auto-baseline — the first run on a machine establishes
+  # the baseline and exits green; later runs fail on a real regression.
+  gate_filter="fm,initial_tiles,loadbalance/balancer,analysis,suite/lcs2"
+  build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \
+    --json="bench-archive/run-latest.json" --archive --gate
+  build-release/tools/dpgen-bench \
+    --validate=bench-archive/run-latest.json --schema=tools/bench_schema.json
+  # The checked-in smoke baseline gates too (skips with a warning on a
+  # different machine fingerprint).
+  build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \
+    --gate --baseline=bench-archive/smoke-baseline.json
+  # Self-test: an injected 4x slowdown MUST fire the gate; a gate that
+  # cannot fail protects nothing.
+  if build-release/tools/dpgen-bench --filter="$gate_filter" --trials=3 \
+      --gate --self-test-slowdown=4 > /dev/null 2>&1; then
+    echo "ERROR: perf gate failed to fire on an injected 4x slowdown" >&2
+    exit 1
+  fi
+  echo "perf gate self-test: injected slowdown correctly rejected"
+  build-release/tools/dpgen-bench --trend=bench-archive/trend.html
+  echo "trend page written to bench-archive/trend.html"
 fi
 echo "all checks passed"

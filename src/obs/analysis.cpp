@@ -513,4 +513,188 @@ void write_report_json(const std::string& path,
   DPGEN_CHECK(out.good(), cat("error writing report '", path, "'"));
 }
 
+// ---- report diffing -------------------------------------------------------
+
+namespace {
+
+double field_num(const json::Value& v, const char* key) {
+  return v.has(key) ? v.at(key).as_number() : 0.0;
+}
+
+PhaseBreakdown parse_breakdown(const json::Value& b) {
+  PhaseBreakdown out;
+  out.compute = field_num(b, "compute");
+  out.unpack = field_num(b, "unpack");
+  out.pack = field_num(b, "pack");
+  out.send = field_num(b, "send");
+  out.blocked_send = field_num(b, "blocked_send");
+  out.poll = field_num(b, "poll");
+  out.idle = field_num(b, "idle");
+  out.barrier = field_num(b, "barrier");
+  out.other = field_num(b, "other");
+  return out;
+}
+
+void write_diff_side(json::Writer& w, const std::string& source,
+                     const std::string& problem, double makespan_s,
+                     long long path_tiles, const PhaseBreakdown& phases,
+                     double bytes, double messages, double imbalance) {
+  w.begin_object();
+  w.key("source");
+  w.value(source);
+  w.key("problem");
+  w.value(problem);
+  w.key("makespan_s");
+  w.value(makespan_s);
+  w.key("path_tiles");
+  w.value(path_tiles);
+  w.key("phases_seconds");
+  w.begin_object();
+  w.key("compute");
+  w.value(phases.compute);
+  w.key("unpack");
+  w.value(phases.unpack);
+  w.key("pack");
+  w.value(phases.pack);
+  w.key("send");
+  w.value(phases.send);
+  w.key("blocked_send");
+  w.value(phases.blocked_send);
+  w.key("poll");
+  w.value(phases.poll);
+  w.key("idle");
+  w.value(phases.idle);
+  w.key("barrier");
+  w.value(phases.barrier);
+  w.key("other");
+  w.value(phases.other);
+  w.end_object();
+  w.key("total_bytes");
+  w.value(bytes);
+  w.key("total_messages");
+  w.value(messages);
+  w.key("measured_imbalance");
+  w.value(imbalance);
+  w.end_object();
+}
+
+}  // namespace
+
+ReportDelta diff_reports(const json::Value& old_report,
+                         const json::Value& new_report) {
+  auto check_v1 = [](const json::Value& r, const char* which) {
+    DPGEN_CHECK(r.has("schema") &&
+                    r.at("schema").as_string() == "dpgen.report.v1",
+                cat("the ", which,
+                    " report is not a dpgen.report.v1 document"));
+  };
+  check_v1(old_report, "old");
+  check_v1(new_report, "new");
+
+  ReportDelta d;
+  auto side = [](const json::Value& r, std::string* source,
+                 std::string* problem, double* makespan,
+                 long long* path_tiles, PhaseBreakdown* phases,
+                 double* bytes, double* messages, double* imbalance) {
+    if (r.has("source")) *source = r.at("source").as_string();
+    if (r.has("problem")) *problem = r.at("problem").as_string();
+    *makespan = field_num(r, "makespan_seconds");
+    if (r.has("critical_path")) {
+      const json::Value& cp = r.at("critical_path");
+      *path_tiles = static_cast<long long>(field_num(cp, "length"));
+      if (cp.has("attribution_seconds"))
+        *phases = parse_breakdown(cp.at("attribution_seconds"));
+    }
+    if (r.has("comm_matrix")) {
+      *bytes = field_num(r.at("comm_matrix"), "total_bytes");
+      *messages = field_num(r.at("comm_matrix"), "total_messages");
+    }
+    if (r.has("load_balance"))
+      *imbalance = field_num(r.at("load_balance"), "measured_imbalance");
+  };
+  side(old_report, &d.old_source, &d.old_problem, &d.old_makespan_s,
+       &d.old_path_tiles, &d.old_phases, &d.old_total_bytes,
+       &d.old_total_messages, &d.old_measured_imbalance);
+  side(new_report, &d.new_source, &d.new_problem, &d.new_makespan_s,
+       &d.new_path_tiles, &d.new_phases, &d.new_total_bytes,
+       &d.new_total_messages, &d.new_measured_imbalance);
+  return d;
+}
+
+std::string diff_text(const ReportDelta& d) {
+  std::string out = cat("dpgen report diff  [", d.old_problem, " (",
+                        d.old_source, ") -> ", d.new_problem, " (",
+                        d.new_source, ")]\n");
+  if (d.old_problem != d.new_problem)
+    out += "warning: the reports describe different problems; the deltas "
+           "compare apples to oranges\n";
+  out +=
+      "  metric           old            new            delta          "
+      "rel\n";
+  auto row = [&](const char* name, double oldv, double newv) {
+    char line[160];
+    const double delta = newv - oldv;
+    if (oldv != 0.0)
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %-14.6g %-14.6g %+-14.6g %+.1f%%\n", name, oldv,
+                    newv, delta, 100.0 * delta / oldv);
+    else
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %-14.6g %-14.6g %+-14.6g -\n", name, oldv,
+                    newv, delta);
+    out += line;
+  };
+  row("makespan_s", d.old_makespan_s, d.new_makespan_s);
+  row("path_tiles", static_cast<double>(d.old_path_tiles),
+      static_cast<double>(d.new_path_tiles));
+  row("compute_s", d.old_phases.compute, d.new_phases.compute);
+  row("unpack_s", d.old_phases.unpack, d.new_phases.unpack);
+  row("pack_s", d.old_phases.pack, d.new_phases.pack);
+  row("send_s", d.old_phases.send, d.new_phases.send);
+  row("blocked_send_s", d.old_phases.blocked_send,
+      d.new_phases.blocked_send);
+  row("poll_s", d.old_phases.poll, d.new_phases.poll);
+  row("idle_s", d.old_phases.idle, d.new_phases.idle);
+  row("barrier_s", d.old_phases.barrier, d.new_phases.barrier);
+  row("other_s", d.old_phases.other, d.new_phases.other);
+  row("total_bytes", d.old_total_bytes, d.new_total_bytes);
+  row("total_messages", d.old_total_messages, d.new_total_messages);
+  row("imbalance", d.old_measured_imbalance, d.new_measured_imbalance);
+  return out;
+}
+
+std::string diff_json(const ReportDelta& d) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema");
+  w.value("dpgen.reportdiff.v1");
+  w.key("old");
+  write_diff_side(w, d.old_source, d.old_problem, d.old_makespan_s,
+                  d.old_path_tiles, d.old_phases, d.old_total_bytes,
+                  d.old_total_messages, d.old_measured_imbalance);
+  w.key("new");
+  write_diff_side(w, d.new_source, d.new_problem, d.new_makespan_s,
+                  d.new_path_tiles, d.new_phases, d.new_total_bytes,
+                  d.new_total_messages, d.new_measured_imbalance);
+  w.key("delta");
+  PhaseBreakdown dp;
+  dp.compute = d.new_phases.compute - d.old_phases.compute;
+  dp.unpack = d.new_phases.unpack - d.old_phases.unpack;
+  dp.pack = d.new_phases.pack - d.old_phases.pack;
+  dp.send = d.new_phases.send - d.old_phases.send;
+  dp.blocked_send = d.new_phases.blocked_send - d.old_phases.blocked_send;
+  dp.poll = d.new_phases.poll - d.old_phases.poll;
+  dp.idle = d.new_phases.idle - d.old_phases.idle;
+  dp.barrier = d.new_phases.barrier - d.old_phases.barrier;
+  dp.other = d.new_phases.other - d.old_phases.other;
+  write_diff_side(w, d.new_source, d.new_problem,
+                  d.new_makespan_s - d.old_makespan_s,
+                  d.new_path_tiles - d.old_path_tiles, dp,
+                  d.new_total_bytes - d.old_total_bytes,
+                  d.new_total_messages - d.old_total_messages,
+                  d.new_measured_imbalance - d.old_measured_imbalance);
+  w.end_object();
+  return w.str() + "\n";
+}
+
 }  // namespace dpgen::obs

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "support/json.hpp"
 #include "support/vec.hpp"
 
 namespace dpgen::obs {
@@ -156,5 +157,37 @@ std::string report_text(const AnalysisReport& report);
 /// Writes report_json to `path` (throws dpgen::Error on I/O failure).
 void write_report_json(const std::string& path,
                        const AnalysisReport& report);
+
+// ---- report diffing -------------------------------------------------------
+//
+// Two reports of the same problem taken before and after a change answer
+// "what got slower, and where": the delta of the critical-path phase
+// buckets localises a makespan change to compute vs communication vs
+// waiting, and the comm totals say whether the message traffic moved.
+
+/// Delta between two dpgen.report.v1 documents (new minus old
+/// throughout).
+struct ReportDelta {
+  std::string old_source, new_source;
+  std::string old_problem, new_problem;
+  double old_makespan_s = 0.0, new_makespan_s = 0.0;
+  long long old_path_tiles = 0, new_path_tiles = 0;
+  /// Critical-path attribution of each report.
+  PhaseBreakdown old_phases, new_phases;
+  double old_total_bytes = 0.0, new_total_bytes = 0.0;
+  double old_total_messages = 0.0, new_total_messages = 0.0;
+  double old_measured_imbalance = 0.0, new_measured_imbalance = 0.0;
+};
+
+/// Extracts the comparable summary of two parsed dpgen.report.v1
+/// documents (throws dpgen::Error when either is not a v1 report).
+ReportDelta diff_reports(const json::Value& old_report,
+                         const json::Value& new_report);
+
+/// Human-readable old/new/delta table.
+std::string diff_text(const ReportDelta& delta);
+
+/// Machine-readable rendering ("dpgen.reportdiff.v1").
+std::string diff_json(const ReportDelta& delta);
 
 }  // namespace dpgen::obs

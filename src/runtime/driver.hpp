@@ -327,6 +327,12 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   std::atomic<long long> progress_marker{0};
   std::mutex poll_mu;  // the paper's "poll ... if lock available"
   std::mutex stats_mu;
+  // Stall diagnostics: workers currently stuck in the blocked-send retry
+  // loop, and the last tile any worker completed.  Both feed the
+  // stall-abort message so a stalled rank reports what it was waiting on.
+  std::atomic<int> blocked_senders{0};
+  std::mutex diag_mu;
+  IntVec last_tile_completed;  // empty until the first tile finishes
   // Wire buffers are recycled rank-wide: try_recv frees a message's buffer
   // into this pool and the next remote pack reuses it, so a pipelined
   // exchange settles into zero wire allocations per edge.
@@ -392,8 +398,26 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             seen_time = Clock::now();
           } else if (std::chrono::duration<double>(Clock::now() - seen_time)
                          .count() > opt.stall_timeout_seconds) {
-            raise("runtime stalled: no tile became ready within the stall "
-                  "timeout (likely a scheduling bug or a dead peer rank)");
+            const TableSnapshot snap = table.snapshot();
+            std::string last = "(none)";
+            {
+              std::lock_guard<std::mutex> lock(diag_mu);
+              if (!last_tile_completed.empty()) {
+                last = "(";
+                for (std::size_t k = 0; k < last_tile_completed.size(); ++k)
+                  last += cat(k ? "," : "", last_tile_completed[k]);
+                last += ")";
+              }
+            }
+            raise(cat(
+                "runtime stalled: no tile became ready within the stall "
+                "timeout (likely a scheduling bug or a dead peer rank); "
+                "rank ", rank, " scheduler snapshot: ready=",
+                snap.ready_tiles, " pending=", snap.pending_tiles,
+                " buffered_edges=", snap.buffered_edges, " executed=",
+                done.load(), "/", owned, " owned tiles, blocked_senders=",
+                blocked_senders.load(), " (", comm.blocked_sends(),
+                " blocked sends so far), last tile completed: ", last));
           }
         }
         continue;
@@ -450,6 +474,10 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       }
       hooks.on_tile_executed(ready->tile, buffer.data());
       ++local.tiles_executed;
+      {
+        std::lock_guard<std::mutex> lock(diag_mu);
+        last_tile_completed.assign(ready->tile.begin(), ready->tile.end());
+      }
 
       // 4. pack and route each valid outgoing edge
       for (int e = 0; e < num_edges; ++e) {
@@ -501,11 +529,13 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             // small buffer budgets.
             obs::ScopedSpan blocked(obs::Phase::kBlockedSend, &consumer);
             const auto t0 = Clock::now();
+            blocked_senders.fetch_add(1, std::memory_order_relaxed);
             detail::Backoff send_backoff;
             do {
               poll();
               send_backoff.pause();
             } while (!comm.try_send(dst, e, wire));
+            blocked_senders.fetch_sub(1, std::memory_order_relaxed);
             const double waited =
                 std::chrono::duration<double>(Clock::now() - t0).count();
             local.blocked_send_seconds += waited;

@@ -50,6 +50,16 @@ struct ReadyTile {
   std::vector<EdgeData<S>> edges;
 };
 
+/// Instantaneous scheduler state, read under the shard locks.  Feeds the
+/// driver's stall-abort diagnostics: a stalled rank reports what it was
+/// waiting on (tiles still missing dependencies, edges buffered for them)
+/// rather than just that it waited.
+struct TableSnapshot {
+  long long pending_tiles = 0;   ///< tiles with unsatisfied dependencies
+  long long ready_tiles = 0;     ///< eligible tiles not yet popped
+  long long buffered_edges = 0;  ///< edges held for pending tiles
+};
+
 /// Memory-usage counters exposed for the FIG4 / PEND reproductions.
 struct TableStats {
   long long peak_pending_tiles = 0;
@@ -242,6 +252,11 @@ class TileTable {
     return out;
   }
 
+  TableSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {size_, static_cast<long long>(ready_.size()), cur_edges_};
+  }
+
  private:
   static constexpr std::size_t kInitialSlots = 64;  // power of two
   static constexpr int kEmpty = 0;
@@ -376,6 +391,19 @@ class ShardedTileTable {
       total.delivered_edges += t.delivered_edges;
     }
     total.peak_ready_tiles = depth_.peak();
+    return total;
+  }
+
+  /// Summed over shards; each shard is internally consistent but the
+  /// shards are read one after another, which is fine for diagnostics.
+  TableSnapshot snapshot() const {
+    TableSnapshot total;
+    for (const auto& s : shards_) {
+      TableSnapshot t = s->snapshot();
+      total.pending_tiles += t.pending_tiles;
+      total.ready_tiles += t.ready_tiles;
+      total.buffered_edges += t.buffered_edges;
+    }
     return total;
   }
 

@@ -1,6 +1,7 @@
 #include "sim/svg.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 
@@ -54,6 +55,68 @@ std::string timeline_svg(const SimResult& result, const SvgOptions& opt) {
                "\" fill=\"", color, "\"><title>node ", s.node, " core ",
                s.core, " tile ", vec_to_string(s.tile), " [", s.start, ", ",
                s.end, "]</title></rect>\n");
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string series_svg(const std::vector<Series>& series,
+                       const std::string& title,
+                       const SeriesSvgOptions& opt) {
+  std::size_t npoints = 0;
+  double ymax = 0.0;
+  for (const Series& s : series) {
+    npoints = std::max(npoints, s.y.size());
+    for (double v : s.y)
+      if (std::isfinite(v)) ymax = std::max(ymax, v);
+  }
+  DPGEN_CHECK(npoints > 0, "series_svg: no data points");
+  if (ymax <= 0.0) ymax = 1.0;
+
+  const double left = 8, right = 8, top = 24, bottom = 8;
+  const double plot_w = opt.width_px - left - right;
+  const double plot_h = opt.height_px - top - bottom;
+  const double xstep = npoints > 1 ? plot_w / (npoints - 1) : 0.0;
+
+  std::string svg = cat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", opt.width_px,
+      "\" height=\"", opt.height_px, "\" viewBox=\"0 0 ", opt.width_px, " ",
+      opt.height_px,
+      "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n",
+      "<text x=\"", left, "\" y=\"16\" font-family=\"sans-serif\" "
+      "font-size=\"12\">", title, "</text>\n");
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const Series& s = series[si];
+    const char* color =
+        kNodeColors[si % (sizeof kNodeColors / sizeof kNodeColors[0])];
+    // Split at non-finite values so gaps render as gaps, not segments.
+    std::string points;
+    bool has_segment = false;
+    auto flush = [&] {
+      if (has_segment)
+        svg += cat("<polyline fill=\"none\" stroke=\"", color,
+                   "\" stroke-width=\"1.5\" points=\"", points, "\"/>\n");
+      points.clear();
+      has_segment = false;
+    };
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      if (!std::isfinite(s.y[i])) {
+        flush();
+        continue;
+      }
+      double x = left + static_cast<double>(i) * xstep;
+      double y = top + plot_h * (1.0 - s.y[i] / ymax);
+      points += cat(x, ",", y, " ");
+      svg += cat("<circle cx=\"", x, "\" cy=\"", y, "\" r=\"2\" fill=\"",
+                 color, "\"><title>", s.label, "[", i, "] = ", s.y[i],
+                 "</title></circle>\n");
+      has_segment = true;
+    }
+    flush();
+    svg += cat("<text x=\"", left + 120 * static_cast<double>(si),
+               "\" y=\"", opt.height_px - bottom + 6,
+               "\" font-family=\"sans-serif\" font-size=\"10\" fill=\"",
+               color, "\">", s.label, "</text>\n");
   }
   svg += "</svg>\n";
   return svg;

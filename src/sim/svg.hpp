@@ -3,8 +3,12 @@
 // (node, core), one rectangle per executed tile, colored by node.  Makes
 // pipeline fill/drain, starvation and load imbalance visible at a glance —
 // the qualitative story behind the paper's Figures 6/7 and section VI.C.
+//
+// Also hosts the generic line-series chart dpgen-bench --trend uses to
+// render archived bench medians across commits.
 
 #include <string>
+#include <vector>
 
 #include "sim/cluster_sim.hpp"
 
@@ -24,5 +28,25 @@ std::string timeline_svg(const SimResult& result,
 /// Writes timeline_svg to a file.
 void write_timeline_svg(const SimResult& result, const std::string& path,
                         const SvgOptions& options = {});
+
+/// One polyline of a series chart: a label plus the y value at each
+/// shared x position (NaN marks a gap — e.g. a bench absent from one
+/// archived run).
+struct Series {
+  std::string label;
+  std::vector<double> y;
+};
+
+struct SeriesSvgOptions {
+  int width_px = 760;
+  int height_px = 240;
+};
+
+/// Renders the series as a self-contained SVG line chart: shared x
+/// positions 0..n-1 (callers label them externally — e.g. with git SHAs),
+/// y auto-scaled from zero, one color per series with a legend.
+std::string series_svg(const std::vector<Series>& series,
+                       const std::string& title,
+                       const SeriesSvgOptions& options = {});
 
 }  // namespace dpgen::sim

@@ -1,11 +1,15 @@
 #pragma once
-// Minimal JSON reader shared by the analyzer CLI (re-ingesting exported
-// traces and validating reports against the report schema) and the test
-// suite (validating exported artifacts: Chrome traces, metrics dumps,
-// bench --json records).  Strict enough to reject malformed output; not a
+// Minimal JSON reader and writer shared by the analyzer / bench CLIs
+// (re-ingesting exported traces, validating documents against the checked
+// in schemas, emitting dpgen.bench.v1 records) and the test suite
+// (validating exported artifacts: Chrome traces, metrics dumps, bench
+// records).  Strict enough to reject malformed output; not a
 // general-purpose library.
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -228,5 +232,122 @@ class Parser {
 inline ValuePtr parse(const std::string& text) {
   return detail::Parser(text).parse();
 }
+
+/// Escapes `s` into a double-quoted JSON string literal.
+inline std::string escaped(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+/// Streaming JSON writer: replaces the hand-concatenated document builders
+/// that produced unparseable output on edge cases.  Commas are managed by
+/// the container stack; strings are escaped; non-finite doubles (a NaN
+/// timing, an inf ratio) serialize as null so every emitted document stays
+/// parseable.  Misuse (unbalanced containers, a value without a key inside
+/// an object) throws instead of writing a corrupt file.
+class Writer {
+ public:
+  Writer& begin_object() { return open('{', '}'); }
+  Writer& end_object() { return close('}'); }
+  Writer& begin_array() { return open('[', ']'); }
+  Writer& end_array() { return close(']'); }
+
+  Writer& key(const std::string& k) {
+    if (stack_.empty() || stack_.back().close != '}' || after_key_)
+      throw std::runtime_error("json::Writer: key outside object");
+    comma();
+    out_ += escaped(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  Writer& value(double v) {
+    if (!std::isfinite(v)) return null();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return raw(buf);
+  }
+  Writer& value(long long v) { return raw(std::to_string(v)); }
+  Writer& value(unsigned long long v) { return raw(std::to_string(v)); }
+  Writer& value(int v) { return value(static_cast<long long>(v)); }
+  Writer& value(bool v) { return raw(v ? "true" : "false"); }
+  Writer& value(const std::string& s) { return raw(escaped(s)); }
+  Writer& value(const char* s) { return raw(escaped(s)); }
+  Writer& null() { return raw("null"); }
+
+  /// The finished document; throws when containers are still open.
+  const std::string& str() const {
+    if (!stack_.empty())
+      throw std::runtime_error("json::Writer: unbalanced containers");
+    return out_;
+  }
+
+ private:
+  struct Frame {
+    char close;
+    bool has_items = false;
+  };
+
+  void comma() {
+    if (!stack_.empty() && stack_.back().has_items) out_ += ',';
+    if (!stack_.empty()) stack_.back().has_items = true;
+  }
+
+  void pre_value() {
+    if (after_key_) {
+      after_key_ = false;
+      return;  // the key already placed the comma
+    }
+    if (!stack_.empty() && stack_.back().close == '}')
+      throw std::runtime_error("json::Writer: value without key in object");
+    comma();
+  }
+
+  Writer& raw(const std::string& text) {
+    pre_value();
+    out_ += text;
+    return *this;
+  }
+
+  Writer& open(char c, char close_c) {
+    pre_value();
+    out_ += c;
+    stack_.push_back({close_c});
+    return *this;
+  }
+
+  Writer& close(char c) {
+    if (stack_.empty() || stack_.back().close != c || after_key_)
+      throw std::runtime_error("json::Writer: mismatched close");
+    stack_.pop_back();
+    out_ += c;
+    return *this;
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
 
 }  // namespace dpgen::json

@@ -400,5 +400,46 @@ TEST(Analysis, ReportTextMentionsEverySection) {
   EXPECT_NE(text.find("chain"), std::string::npos);
 }
 
+TEST(Analysis, DiffReportsDeltasTheComparableSummary) {
+  AnalysisReport before = obs::analyze(hand_built_input());
+  AnalysisReport after = before;
+  after.makespan_s += 0.5;
+  after.path_attribution.compute += 0.4;
+  after.path_attribution.idle += 0.1;
+  after.critical_path.push_back(after.critical_path.back());
+  after.total_bytes += 100;
+  after.measured_imbalance += 0.25;
+
+  auto old_doc = json::parse(obs::report_json(before));
+  auto new_doc = json::parse(obs::report_json(after));
+  obs::ReportDelta d = obs::diff_reports(*old_doc, *new_doc);
+  EXPECT_NEAR(d.new_makespan_s - d.old_makespan_s, 0.5, 1e-6);
+  EXPECT_EQ(d.new_path_tiles - d.old_path_tiles, 1);
+  EXPECT_NEAR(d.new_phases.compute - d.old_phases.compute, 0.4, 1e-6);
+  EXPECT_NEAR(d.new_phases.idle - d.old_phases.idle, 0.1, 1e-6);
+  EXPECT_NEAR(d.new_total_bytes - d.old_total_bytes, 100.0, 1e-6);
+  EXPECT_NEAR(d.new_measured_imbalance - d.old_measured_imbalance, 0.25,
+              1e-6);
+
+  std::string text = obs::diff_text(d);
+  EXPECT_NE(text.find("makespan_s"), std::string::npos);
+  EXPECT_NE(text.find("total_bytes"), std::string::npos);
+
+  auto diff_doc = json::parse(obs::diff_json(d));
+  EXPECT_EQ(diff_doc->at("schema").as_string(), "dpgen.reportdiff.v1");
+  EXPECT_NEAR(diff_doc->at("delta").at("makespan_s").as_number(), 0.5,
+              1e-6);
+  EXPECT_NEAR(
+      diff_doc->at("delta").at("phases_seconds").at("compute").as_number(),
+      0.4, 1e-6);
+}
+
+TEST(Analysis, DiffReportsRejectsNonV1Documents) {
+  auto bogus = json::parse("{\"schema\":\"bogus.v0\"}");
+  auto good = json::parse(obs::report_json(obs::analyze(hand_built_input())));
+  EXPECT_THROW(obs::diff_reports(*bogus, *good), Error);
+  EXPECT_THROW(obs::diff_reports(*good, *bogus), Error);
+}
+
 }  // namespace
 }  // namespace dpgen

@@ -308,7 +308,22 @@ TEST(EngineFailureInjection, StallTimeoutFires) {
   runtime::RunOptions opt;
   opt.order = runtime::TileOrder({0}, {1}, runtime::PriorityPolicy::kColumnMajor);
   opt.stall_timeout_seconds = 0.2;
-  EXPECT_THROW(runtime::run_node<double>(hooks, world.comm(0), opt), Error);
+  // The abort must carry the scheduler snapshot: tile {1} executed, its
+  // edge delivered to tile {0}, which then waits forever for the 4
+  // dependencies that do not exist.
+  try {
+    runtime::run_node<double>(hooks, world.comm(0), opt);
+    FAIL() << "expected the stall timeout to fire";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("runtime stalled"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ready=0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pending=1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("buffered_edges=1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("executed=1/2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blocked_senders=0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("last tile completed: (1)"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

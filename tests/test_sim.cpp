@@ -307,6 +307,27 @@ TEST(SimTimeline, SvgRenderingContainsEveryTile) {
   EXPECT_TRUE(in.good());
 }
 
+TEST(SimTimeline, SeriesSvgRendersPolylinesWithGaps) {
+  std::vector<Series> series;
+  series.push_back({"alpha", {1.0, 2.0, 3.0, 2.5}});
+  series.push_back(
+      {"beta", {0.5, std::numeric_limits<double>::quiet_NaN(), 1.5, 2.0}});
+  std::string svg = series_svg(series, "bench medians");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("bench medians"), std::string::npos);
+  EXPECT_NE(svg.find("alpha"), std::string::npos);
+  EXPECT_NE(svg.find("beta"), std::string::npos);
+  // The NaN splits beta's polyline, so there are at least 3 polylines
+  // (alpha's plus beta's two segments... beta's first segment is a single
+  // point, drawn as a circle), and one circle per finite point.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1))
+    ++circles;
+  EXPECT_EQ(circles, 7u);  // 4 alpha + 3 finite beta points
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
 TEST(SimTimeline, SvgNeedsRecordedTimeline) {
   tiling::TilingModel model(chain_spec(4));
   SimResult r = simulate(model, {15}, ClusterConfig{});

@@ -1,11 +1,12 @@
 // Unit tests for the support layer: checked arithmetic, rationals, integer
-// vectors and string helpers.
+// vectors, string helpers and the streaming JSON writer.
 
 #include <gtest/gtest.h>
 
 #include <limits>
 
 #include "support/checked.hpp"
+#include "support/json.hpp"
 #include "support/rational.hpp"
 #include "support/str.hpp"
 #include "support/vec.hpp"
@@ -184,6 +185,52 @@ TEST(ErrorHandling, AssertMacroMentionsLocation) {
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("test_support.cpp"),
               std::string::npos);
+  }
+}
+
+TEST(JsonWriter, NestedContainersManageCommas) {
+  json::Writer w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array();
+  w.value(true).value("x\"y\n").null();
+  w.end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true,\"x\\\"y\\n\",null],\"c\":{}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  json::Writer w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(0.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,0.5]");
+  // The round trip holds: the emitted document parses.
+  EXPECT_EQ(json::parse(w.str())->as_array().size(), 3u);
+}
+
+TEST(JsonWriter, MisuseThrowsInsteadOfCorrupting) {
+  {
+    json::Writer w;
+    EXPECT_THROW(w.key("k"), std::runtime_error);  // key outside object
+  }
+  {
+    json::Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::runtime_error);  // value without key
+  }
+  {
+    json::Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.str(), std::runtime_error);  // still-open container
+  }
+  {
+    json::Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::runtime_error);  // mismatched close
   }
 }
 

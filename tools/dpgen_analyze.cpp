@@ -21,6 +21,12 @@
 //
 //   dpgen-analyze --validate=report.json --schema=tools/report_schema.json
 //       validates a report against the schema (exit 1 on violations).
+//
+//   dpgen-analyze --diff old.json new.json
+//       deltas two dpgen.report.v1 reports (phase buckets along the
+//       critical path, path length, comm totals, measured imbalance) —
+//       the before/after view of an optimisation.  Text to stdout; pass
+//       --report=FILE for the dpgen.reportdiff.v1 JSON as well.
 
 #include <cstdio>
 #include <cstring>
@@ -34,6 +40,7 @@
 #include "obs/trace.hpp"
 #include "problems/problems.hpp"
 #include "sim/cluster_sim.hpp"
+#include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/json_schema.hpp"
 #include "support/str.hpp"
@@ -53,10 +60,13 @@ struct Options {
   int nodes = 4;
   int cores = 4;
   std::string report_path = "dpgen_report.json";
+  bool report_path_set = false;
   std::string trace_out;
   std::string trace_in;
   std::string validate_path;
   std::string schema_path;
+  std::string diff_old;
+  std::string diff_new;
   bool list = false;
 };
 
@@ -143,8 +153,9 @@ int usage(const char* argv0) {
       "[--report=FILE]\n"
       "       %s --trace=FILE [--problem=NAME --params=..] [--report=FILE]\n"
       "       %s --validate=REPORT --schema=SCHEMA\n"
+      "       %s --diff OLD.json NEW.json [--report=FILE]\n"
       "       %s --list\n",
-      argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -207,6 +218,21 @@ int run_validate(const Options& opt) {
     std::printf("%s: valid (%s)\n", opt.validate_path.c_str(),
                 opt.schema_path.c_str());
   return errors.empty() ? 0 : 1;
+}
+
+int run_diff(const Options& opt) {
+  json::ValuePtr old_report = json::parse(read_file(opt.diff_old));
+  json::ValuePtr new_report = json::parse(read_file(opt.diff_new));
+  obs::ReportDelta delta = obs::diff_reports(*old_report, *new_report);
+  std::fputs(obs::diff_text(delta).c_str(), stdout);
+  if (opt.report_path_set) {
+    std::ofstream out(opt.report_path);
+    DPGEN_CHECK(out.good(),
+                cat("cannot open diff output '", opt.report_path, "'"));
+    out << obs::diff_json(delta);
+    std::printf("\ndiff written to %s\n", opt.report_path.c_str());
+  }
+  return 0;
 }
 
 int run_trace(const Options& opt) {
@@ -307,11 +333,24 @@ int main(int argc, char** argv) {
     else if (arg == "--sim") opt.sim = true;
     else if (const char* v = value("--nodes=")) opt.nodes = std::atoi(v);
     else if (const char* v = value("--cores=")) opt.cores = std::atoi(v);
-    else if (const char* v = value("--report=")) opt.report_path = v;
+    else if (const char* v = value("--report=")) {
+      opt.report_path = v;
+      opt.report_path_set = true;
+    }
     else if (const char* v = value("--trace-out=")) opt.trace_out = v;
     else if (const char* v = value("--trace=")) opt.trace_in = v;
     else if (const char* v = value("--validate=")) opt.validate_path = v;
     else if (const char* v = value("--schema=")) opt.schema_path = v;
+    else if (const char* v = value("--diff=")) {
+      const std::vector<std::string> parts = split(v, ",");
+      if (parts.size() != 2) return usage(argv[0]);
+      opt.diff_old = parts[0];
+      opt.diff_new = parts[1];
+    }
+    else if (arg == "--diff" && i + 2 < argc) {
+      opt.diff_old = argv[++i];
+      opt.diff_new = argv[++i];
+    }
     else if (arg == "--list") opt.list = true;
     else return usage(argv[0]);
   }
@@ -328,6 +367,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (!opt.validate_path.empty()) return run_validate(opt);
+    if (!opt.diff_old.empty()) return run_diff(opt);
     if (!opt.trace_in.empty()) return run_trace(opt);
     if (!opt.problem.empty()) return run_problem(opt);
   } catch (const std::exception& e) {
