@@ -39,10 +39,12 @@ struct HotpathRow {
   long long pool_hits = 0;
 };
 
-HotpathRow run_once(const tiling::TilingModel& model, Int n, int ranks) {
+HotpathRow run_once(const tiling::TilingModel& model, Int n, int ranks,
+                    bool monitored = false) {
   engine::EngineOptions opt;
   opt.ranks = ranks;
   opt.threads = 1;
+  if (monitored) opt.monitor_path = "-";  // live telemetry, no event log
   std::int64_t alloc0 = counter_value("runtime.edge_alloc");
   std::int64_t hit0 = counter_value("runtime.pool_hit");
   auto r = engine::run(model, {n}, [](const engine::Cell& c) {
@@ -91,11 +93,12 @@ double table_deliver_pop_once(Int n) {
 
 /// dpgen-bench entries: the same workloads as the table, at sizes small
 /// enough for repeated gated trials.
-obs::BenchSample hotpath_sample(Int width, Int n, int ranks) {
+obs::BenchSample hotpath_sample(Int width, Int n, int ranks,
+                                bool monitored = false) {
   tiling::TilingModel model(grid_spec(width));
   std::int64_t bytes0 =
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value();
-  HotpathRow row = run_once(model, n, ranks);
+  HotpathRow row = run_once(model, n, ranks, monitored);
   const double bytes_on_wire = static_cast<double>(
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value() -
       bytes0);
@@ -119,6 +122,11 @@ obs::BenchSample hotpath_sample(Int width, Int n, int ranks) {
                  [] { return hotpath_sample(2, 255, 1); });
   register_bench("hotpath/grid_w2_r2",
                  [] { return hotpath_sample(2, 255, 2); });
+  // Same workload with the live monitor attached: guards the "monitoring
+  // costs < 3% edge throughput" budget (ISSUE 6) — the steady-state cost
+  // is one relaxed load per tile.
+  register_bench("hotpath/grid_w2_mon",
+                 [] { return hotpath_sample(2, 255, 1, true); });
   register_bench("hotpath/table_deliver_pop", [] {
     obs::BenchSample s;
     const Int n = 64;

@@ -46,6 +46,28 @@ build/tools/dpgen-analyze --problem=lcs --params=64,64 --sim \
 build/tools/dpgen-analyze --validate=build/analyze-smoke/lcs.sim.json \
   --schema=tools/report_schema.json
 
+echo "==== live-monitor smoke (dpgen-top + events schema)"
+# Balanced engine run through the run monitor: the event log must validate
+# against tools/events_schema.json, contain at least one heartbeat, and —
+# since the workload is balanced — flag no stragglers.
+rm -rf build/monitor-smoke && mkdir -p build/monitor-smoke
+build/tools/dpgen-top --problem=lcs --params=96,96 --ranks=2 --threads=2 \
+  --interval=0.005 --events=build/monitor-smoke/lcs.jsonl --check \
+  | tee build/monitor-smoke/lcs.summary
+awk '{ for (i = 1; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] } }
+     END { exit !(v["heartbeats"] >= 1 && v["stragglers"] == 0) }' \
+  build/monitor-smoke/lcs.summary
+build/tools/dpgen-analyze --events=build/monitor-smoke/lcs.jsonl \
+  --schema=tools/events_schema.json > /dev/null
+# Skewed simulated fleet: the online detector must name the slowed node.
+build/tools/dpgen-top --problem=lcs --params=96,96 --sim --nodes=2 \
+  --cores=2 --slow-node=1:4 --events=build/monitor-smoke/skew.jsonl \
+  --check 2> build/monitor-smoke/skew.err
+grep -q "straggler: node 1" build/monitor-smoke/skew.err
+build/tools/dpgen-analyze --events=build/monitor-smoke/skew.jsonl \
+  --schema=tools/events_schema.json > /dev/null
+echo "live-monitor smoke passed"
+
 if [[ "${1:-}" != "--quick" ]]; then
   for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue
@@ -63,9 +85,9 @@ if [[ "${1:-}" != "--quick" ]]; then
     -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
-    test_engine test_hotpath
+    test_engine test_hotpath test_monitor
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath'
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
   cmake -B build-notrace -G Ninja -DDPGEN_TRACE=OFF
@@ -87,7 +109,10 @@ if [[ "${1:-}" != "--quick" ]]; then
   # emitted document, archive it (for --trend), and gate against the
   # per-machine auto-baseline — the first run on a machine establishes
   # the baseline and exits green; later runs fail on a real regression.
+  # hotpath/grid_w2 vs hotpath/grid_w2_mon also tracks the live-monitor
+  # overhead budget (< 3% of edge throughput) across commits.
   gate_filter="fm,initial_tiles,loadbalance/balancer,analysis,suite/lcs2"
+  gate_filter="$gate_filter,hotpath/grid_w2,hotpath/table_deliver_pop"
   build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \
     --json="bench-archive/run-latest.json" --archive --gate
   build-release/tools/dpgen-bench \

@@ -40,7 +40,8 @@ class ModelHooks final : public runtime::ProblemHooks<double> {
         recorder_(recorder),
         edge_store_(edge_store),
         tile_hook_(tile_hook),
-        decision_log_(decision_log) {}
+        decision_log_(decision_log),
+        cells_fn_(model.cell_count_fn(params)) {}
 
   int dim() const override { return model_.dim(); }
   Int buffer_size() const override { return model_.buffer_size(); }
@@ -56,6 +57,13 @@ class ModelHooks final : public runtime::ProblemHooks<double> {
   }
   int dep_count(const IntVec& tile) const override {
     return model_.num_deps_of(params_, tile);
+  }
+  Int tile_cells(const IntVec& tile) const override {
+    // Per dispatched tile on the monitored hot path: use the specialised
+    // product form when the local nest permits it, the generic counter
+    // otherwise.
+    return cells_fn_.ok() ? cells_fn_.count(tile)
+                          : model_.cell_count(params_, tile);
   }
   void initial_tiles(std::vector<IntVec>& out) const override {
     model_.for_each_initial_tile(params_,
@@ -163,6 +171,7 @@ class ModelHooks final : public runtime::ProblemHooks<double> {
   EdgeStore* edge_store_;
   const std::function<void(const IntVec&)>& tile_hook_;
   DecisionLog* decision_log_;
+  tiling::CellCountFn cells_fn_;
 };
 
 }  // namespace
@@ -224,6 +233,24 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
   ropt.poison_buffers = options.poison_buffers;
   ropt.stall_timeout_seconds = options.stall_timeout_seconds;
 
+  // Live telemetry: a wall-clock sampler publishes per-rank heartbeats and
+  // runs the straggler detector while the ranks execute ("-" = in-process
+  // monitoring only, no event log).
+  std::optional<obs::Monitor> monitor;
+  if (!options.monitor_path.empty()) {
+    obs::MonitorOptions mopt;
+    mopt.nranks = options.ranks;
+    mopt.interval_s = options.monitor_interval;
+    if (options.monitor_path != "-") mopt.events_path = options.monitor_path;
+    for (int r = 0; r < options.ranks; ++r)
+      mopt.predicted_work.push_back(
+          static_cast<double>(balancer.owned_work(r)));
+    mopt.source = "engine";
+    mopt.problem = model.problem().problem_name();
+    monitor.emplace(std::move(mopt));
+    ropt.monitor = &*monitor;
+  }
+
   minimpi::World world(options.ranks, options.mailbox_capacity);
   std::vector<runtime::RunStats> rank_stats(
       static_cast<std::size_t>(options.ranks));
@@ -234,6 +261,12 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     rank_stats[static_cast<std::size_t>(comm.rank())] =
         runtime::run_node<double>(hooks, comm, ropt);
   });
+
+  std::vector<obs::StragglerFlag> stragglers;
+  if (monitor) {
+    monitor->stop();
+    stragglers = monitor->stragglers();
+  }
 
   std::optional<obs::AnalysisReport> report;
   if (tracing) {
@@ -274,6 +307,7 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
   result.rank_stats = std::move(rank_stats);
   result.max_value = recorder.max_value;
   result.max_point = std::move(recorder.max_point);
+  result.stragglers = std::move(stragglers);
   return result;
 }
 

@@ -93,6 +93,14 @@ struct EngineOptions {
   /// — is written here as JSON; the same report lands in
   /// EngineResult::report.
   std::string report_json_path;
+  /// When non-empty, live telemetry is enabled for this run: per-rank
+  /// heartbeats, scheduler snapshots and online straggler detection are
+  /// appended here as dpgen.events.v1 JSONL (see docs/observability.md).
+  /// "-" enables monitoring (MonitorHub / EngineResult::stragglers)
+  /// without writing an event log.
+  std::string monitor_path;
+  /// Sampling / straggler-detector period in seconds.
+  double monitor_interval = 0.05;
 };
 
 struct EngineResult {
@@ -107,6 +115,9 @@ struct EngineResult {
   /// Filled when EngineOptions::report_json_path is set: the analyzed
   /// performance report for this run.
   std::optional<obs::AnalysisReport> report;
+  /// Filled when EngineOptions::monitor_path is set: ranks the online
+  /// detector flagged as stragglers (empty on a balanced run).
+  std::vector<obs::StragglerFlag> stragglers;
 
   /// Value at a recorded location; throws when it was not recorded.
   double at(const IntVec& point) const;

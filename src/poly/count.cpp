@@ -13,6 +13,11 @@ Int LatticeCounter::count(const IntVec& seed) const {
   return count_level(point, 0);
 }
 
+Int LatticeCounter::count_in_place(IntVec& point) const {
+  if (nest_.levels() == 0) return 1;
+  return count_level(point, 0);
+}
+
 Int LatticeCounter::count_level(IntVec& point, int level) const {
   auto [lo, hi] = nest_.range(level, point);
   if (lo > hi) return 0;

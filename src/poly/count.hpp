@@ -21,6 +21,11 @@ class LatticeCounter {
   /// Number of lattice points; `seed` must assign every non-scan variable.
   Int count(const IntVec& seed) const;
 
+  /// Allocation-free variant for hot paths: counts directly in `point`,
+  /// clobbering its scan-variable entries.  `point` must assign every
+  /// non-scan variable and be sized for the full system.
+  Int count_in_place(IntVec& point) const;
+
   const LoopNest& nest() const { return nest_; }
 
  private:

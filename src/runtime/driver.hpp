@@ -39,6 +39,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <optional>
@@ -50,6 +51,7 @@
 #include "support/str.hpp"
 #include "obs/gather.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "runtime/buffer_pool.hpp"
 #include "runtime/tile_table.hpp"
@@ -90,6 +92,14 @@ class ProblemHooks {
   virtual int owner(const IntVec& tile) const = 0;
   virtual Int owned_tiles(int rank) const = 0;
 
+  /// Cell count of a tile (Ehrhart-exact where available; 0 = unknown).
+  /// Only consulted when live monitoring is on: the straggler detector
+  /// prefers cells over tile counts because tile costs are heavy-tailed.
+  virtual Int tile_cells(const IntVec& tile) const {
+    (void)tile;
+    return 0;
+  }
+
   /// Runs the tile's loop nest over `buffer` (ghosts already unpacked).
   virtual void execute_tile(const IntVec& tile, S* buffer) = 0;
   /// Called after execution with the filled buffer (result capture).
@@ -119,8 +129,14 @@ struct RunOptions {
   /// never-written ghost cells surface as NaNs (floating-point S only).
   bool poison_buffers = false;
   /// Abort with an error after this long with no progress (0 = never);
-  /// protects tests against scheduling deadlocks.
+  /// protects tests against scheduling deadlocks.  A structured
+  /// stall_warning fires at half this budget so live monitors see trouble
+  /// before the run dies.
   double stall_timeout_seconds = 120.0;
+  /// Live-telemetry sink (not owned; null = monitoring off).  The steady
+  /// state pays one relaxed load per tile; snapshots are only taken when
+  /// the monitor's sampler asks for one.
+  obs::Monitor* monitor = nullptr;
 };
 
 struct RunStats {
@@ -141,6 +157,9 @@ struct RunStats {
   double idle_seconds = 0.0;
   /// Wall time spent retrying sends against full destination mailboxes.
   double blocked_send_seconds = 0.0;
+  /// stall_warning events raised (progress resumed after each, or the run
+  /// would have aborted at the full timeout instead).
+  long long stall_warnings = 0;
   TableStats table;
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -324,6 +343,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
 
   const Int owned = hooks.owned_tiles(rank);
   std::atomic<long long> done{0};
+  // Cells of tiles started (credited at dispatch, not completion — see the
+  // worker loop).  Only maintained when monitored.
+  std::atomic<long long> done_cells{0};
   std::atomic<long long> progress_marker{0};
   std::mutex poll_mu;  // the paper's "poll ... if lock available"
   std::mutex stats_mu;
@@ -331,12 +353,41 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   // loop, and the last tile any worker completed.  Both feed the
   // stall-abort message so a stalled rank reports what it was waiting on.
   std::atomic<int> blocked_senders{0};
+  // Workers currently processing a popped tile (unpack/execute/pack);
+  // feeds RankSnapshot::active_workers so the straggler detector can tell
+  // "busy inside a long kernel" apart from "dependency-starved".
+  std::atomic<int> busy_workers{0};
   std::mutex diag_mu;
   IntVec last_tile_completed;  // empty until the first tile finishes
   // Wire buffers are recycled rank-wide: try_recv frees a message's buffer
   // into this pool and the next remote pack reuses it, so a pipelined
   // exchange settles into zero wire allocations per edge.
   detail::SharedBufferPool<std::uint8_t> wire_pool;
+
+  // Live telemetry: builds a RankSnapshot on demand.  Takes the shard
+  // locks, so it only runs when the monitor's sampler raised this rank's
+  // want flag (claim() below) — never on the steady-state path.
+  auto monitor_snapshot = [&]() {
+    obs::RankSnapshot s;
+    s.t_s = opt.monitor->now_s();
+    const TableSnapshot snap = table.snapshot();
+    s.pending_tiles = snap.pending_tiles;
+    s.ready_tiles = snap.ready_tiles;
+    s.buffered_edges = snap.buffered_edges;
+    s.executed = done.load(std::memory_order_relaxed);
+    s.executed_cells = done_cells.load(std::memory_order_relaxed);
+    s.owned = owned;
+    s.blocked_senders = blocked_senders.load(std::memory_order_relaxed);
+    s.bytes_sent = static_cast<long long>(comm.bytes_sent());
+    s.messages_sent = static_cast<long long>(comm.messages_sent());
+    s.progress_marker = progress_marker.load(std::memory_order_relaxed);
+    s.active_workers = busy_workers.load(std::memory_order_relaxed);
+    s.workers = opt.threads;
+    return s;
+  };
+  // Marker value a stall_warning was already issued for: one warning per
+  // no-progress stretch, re-armed as soon as any worker makes progress.
+  std::atomic<long long> stall_warned_marker{-1};
 
   auto expected_deps = [&](const IntVec& t) { return hooks.dep_count(t); };
 
@@ -391,33 +442,67 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         }
         ++local.idle_spins;
         backoff.pause();
+        if (opt.monitor && opt.monitor->claim(rank))
+          opt.monitor->publish(rank, monitor_snapshot());
         if (opt.stall_timeout_seconds > 0) {
           long long marker = progress_marker.load();
           if (marker != seen_marker) {
             seen_marker = marker;
             seen_time = Clock::now();
-          } else if (std::chrono::duration<double>(Clock::now() - seen_time)
-                         .count() > opt.stall_timeout_seconds) {
-            const TableSnapshot snap = table.snapshot();
-            std::string last = "(none)";
-            {
-              std::lock_guard<std::mutex> lock(diag_mu);
-              if (!last_tile_completed.empty()) {
-                last = "(";
-                for (std::size_t k = 0; k < last_tile_completed.size(); ++k)
-                  last += cat(k ? "," : "", last_tile_completed[k]);
-                last += ")";
+          } else {
+            const double waited =
+                std::chrono::duration<double>(Clock::now() - seen_time)
+                    .count();
+            if (waited > 0.5 * opt.stall_timeout_seconds) {
+              // Halfway to the abort: warn once per no-progress stretch so
+              // live monitors see trouble before the run dies.
+              long long warned =
+                  stall_warned_marker.load(std::memory_order_relaxed);
+              if (warned != marker &&
+                  stall_warned_marker.compare_exchange_strong(warned,
+                                                              marker)) {
+                ++local.stall_warnings;
+                const TableSnapshot snap = table.snapshot();
+                std::fprintf(
+                    stderr,
+                    "dpgen: stall_warning: rank %d made no progress for "
+                    "%.2fs (timeout %.2fs): ready=%lld pending=%lld "
+                    "buffered_edges=%lld executed=%lld/%lld "
+                    "blocked_senders=%d\n",
+                    rank, waited, opt.stall_timeout_seconds,
+                    snap.ready_tiles, snap.pending_tiles,
+                    snap.buffered_edges, done.load(),
+                    static_cast<long long>(owned), blocked_senders.load());
+                if (opt.monitor) {
+                  obs::RankSnapshot ms = monitor_snapshot();
+                  opt.monitor->stall_warning(rank, ms, waited,
+                                             opt.stall_timeout_seconds);
+                }
               }
             }
-            raise(cat(
-                "runtime stalled: no tile became ready within the stall "
-                "timeout (likely a scheduling bug or a dead peer rank); "
-                "rank ", rank, " scheduler snapshot: ready=",
-                snap.ready_tiles, " pending=", snap.pending_tiles,
-                " buffered_edges=", snap.buffered_edges, " executed=",
-                done.load(), "/", owned, " owned tiles, blocked_senders=",
-                blocked_senders.load(), " (", comm.blocked_sends(),
-                " blocked sends so far), last tile completed: ", last));
+            if (waited > opt.stall_timeout_seconds) {
+              const TableSnapshot snap = table.snapshot();
+              std::string last = "(none)";
+              {
+                std::lock_guard<std::mutex> lock(diag_mu);
+                if (!last_tile_completed.empty()) {
+                  last = "(";
+                  for (std::size_t k = 0; k < last_tile_completed.size();
+                       ++k)
+                    last += cat(k ? "," : "", last_tile_completed[k]);
+                  last += ")";
+                }
+              }
+              raise(cat(
+                  "runtime stalled: no tile became ready within the stall "
+                  "timeout (likely a scheduling bug or a dead peer rank); "
+                  "rank ", rank, " scheduler snapshot: ready=",
+                  snap.ready_tiles, " pending=", snap.pending_tiles,
+                  " buffered_edges=", snap.buffered_edges, " executed=",
+                  done.load(), "/", owned, " owned tiles, blocked_senders=",
+                  blocked_senders.load(), " (", comm.blocked_sends(),
+                  " blocked sends so far), last tile completed: ", last));
+            }
           }
         }
         continue;
@@ -437,7 +522,15 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         idling = false;
         backoff.reset();
       }
+      busy_workers.fetch_add(1, std::memory_order_relaxed);
       progress_marker.fetch_add(1, std::memory_order_relaxed);
+      // Cells are credited at tile *start* so a worker grinding through one
+      // expensive tile doesn't read as stalled between heartbeats (cell
+      // counts are heavy-tailed; completion-credit is a step function whose
+      // flats the straggler detector would mistake for slowness).
+      if (opt.monitor)
+        done_cells.fetch_add(hooks.tile_cells(ready->tile),
+                             std::memory_order_relaxed);
 
       // 2. fresh buffer + unpack stored edges (payloads go back to the
       // pool, where step 4's packs pick them straight up again)
@@ -553,6 +646,11 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       table.recycle(std::move(*ready));
 
       done.fetch_add(1, std::memory_order_release);
+      // Publish (if asked) before dropping busy_workers so the snapshot
+      // still counts this worker as active for the tile it just finished.
+      if (opt.monitor && opt.monitor->claim(rank))
+        opt.monitor->publish(rank, monitor_snapshot());
+      busy_workers.fetch_sub(1, std::memory_order_relaxed);
       // 6. opportunistic poll
       poll();
     }
@@ -594,6 +692,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     stats.pool_hits += local.pool_hits;
     stats.idle_seconds += local.idle_seconds;
     stats.blocked_send_seconds += local.blocked_send_seconds;
+    stats.stall_warnings += local.stall_warnings;
   };
 
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
@@ -613,6 +712,10 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   stats.pool_hits += wire_pool.hits();
   metrics.edge_alloc.add(wire_pool.misses());
   metrics.pool_hit.add(wire_pool.hits());
+
+  // Forced final heartbeat: even a run shorter than the sampling interval
+  // leaves one complete (fully-executed, drained-table) snapshot per rank.
+  if (opt.monitor) opt.monitor->publish(rank, monitor_snapshot());
 
   obs::Tracer::set_identity(rank, 0);
   {

@@ -1,6 +1,7 @@
 #include "sim/cluster_sim.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <set>
 #include <unordered_map>
@@ -39,6 +40,11 @@ struct NodeState {
   std::vector<double> core_free;  // absolute free times
   double busy = 0.0;
   long long cur_edges = 0;
+  // Live-telemetry counters (only read when monitoring is on).
+  long long executed = 0;
+  long long executed_cells = 0;
+  long long sent_bytes = 0;
+  long long sent_msgs = 0;
 };
 
 }  // namespace
@@ -48,6 +54,12 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
   DPGEN_CHECK(cfg.nodes >= 1 && cfg.cores_per_node >= 1,
               "cluster needs at least one node and one core");
   DPGEN_CHECK(cfg.sec_per_cell > 0, "sec_per_cell must be positive");
+  DPGEN_CHECK(cfg.node_slowdown.empty() ||
+                  cfg.node_slowdown.size() ==
+                      static_cast<std::size_t>(cfg.nodes),
+              "node_slowdown must be empty or have one factor per node");
+  for (double f : cfg.node_slowdown)
+    DPGEN_CHECK(f > 0, "node_slowdown factors must be positive");
 
   tiling::LoadBalancer balancer(model, params, cfg.nodes, cfg.balance);
 
@@ -82,10 +94,62 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
       std::vector<std::uint64_t>(static_cast<std::size_t>(cfg.nodes), 0));
   long long global_edges = 0;
 
-  auto tile_cost = [&](const IntVec& t) {
-    return cfg.tile_overhead_sec +
-           static_cast<double>(model.cell_count(params, t)) *
-               cfg.sec_per_cell;
+  auto tile_cost = [&](int n, const IntVec& t) {
+    const double slow = cfg.node_slowdown.empty()
+                            ? 1.0
+                            : cfg.node_slowdown[static_cast<std::size_t>(n)];
+    return slow * (cfg.tile_overhead_sec +
+                   static_cast<double>(model.cell_count(params, t)) *
+                       cfg.sec_per_cell);
+  };
+
+  // Live monitoring against DES time: the event loop publishes synthetic
+  // heartbeats at every interval boundary it crosses, so detector
+  // behaviour is exactly reproducible (no sampler thread, no wall clock).
+  std::optional<obs::Monitor> monitor;
+  double monitor_interval = cfg.monitor_interval_s;
+  if (!cfg.events_path.empty()) {
+    if (monitor_interval <= 0) {
+      // Predicted makespan (balanced-compute estimate) split ~32 ways.
+      double cells = 0.0;
+      for (int r = 0; r < cfg.nodes; ++r)
+        cells += static_cast<double>(balancer.owned_work(r));
+      monitor_interval = std::max(
+          cells * cfg.sec_per_cell / (cfg.nodes * cfg.cores_per_node) / 32.0,
+          cfg.sec_per_cell);
+    }
+    obs::MonitorOptions mopt;
+    mopt.nranks = cfg.nodes;
+    mopt.interval_s = monitor_interval;
+    if (cfg.events_path != "-") mopt.events_path = cfg.events_path;
+    for (int r = 0; r < cfg.nodes; ++r)
+      mopt.predicted_work.push_back(
+          static_cast<double>(balancer.owned_work(r)));
+    mopt.sampler_thread = false;
+    mopt.source = "sim";
+    mopt.problem = model.problem().problem_name();
+    monitor.emplace(std::move(mopt));
+  }
+  auto publish_all = [&](std::vector<NodeState>& ns, double t) {
+    for (int n = 0; n < cfg.nodes; ++n) {
+      const NodeState& node = ns[static_cast<std::size_t>(n)];
+      obs::RankSnapshot s;
+      s.t_s = t;
+      s.executed = node.executed;
+      s.executed_cells = node.executed_cells;
+      s.owned = balancer.owned_tiles(n);
+      s.pending_tiles = static_cast<long long>(node.waiting.size());
+      s.ready_tiles = static_cast<long long>(node.ready.size());
+      s.buffered_edges = node.cur_edges;
+      s.bytes_sent = node.sent_bytes;
+      s.messages_sent = node.sent_msgs;
+      s.progress_marker = node.executed;
+      // A core is busy at `t` when its absolute free time lies ahead.
+      for (double f : node.core_free)
+        if (f > t + 1e-15) ++s.active_workers;
+      s.workers = cfg.cores_per_node;
+      monitor->publish(n, s);
+    }
   };
 
   // Dispatch any idle cores of a node onto ready tiles.
@@ -110,7 +174,10 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
         global_edges -= it->second;
         node.stored_edges.erase(it);
       }
-      double duration = tile_cost(tile);
+      // Cells are credited at dispatch, mirroring the driver: a core
+      // inside one expensive tile must not read as stalled.
+      if (monitor) node.executed_cells += model.cell_count(params, tile);
+      double duration = tile_cost(n, tile);
       double finish = now + duration;
       node.core_free[core] = finish;
       node.busy += duration;
@@ -135,9 +202,18 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
   // among every tile that became eligible "at the same moment".
   double makespan = 0.0;
   std::set<int> touched;
+  double next_sample = monitor_interval;
   while (!events.empty()) {
     const double now = events.top().time;
     makespan = std::max(makespan, now);
+    // Cross every sampling boundary up to `now` before applying this
+    // batch: the node states still describe simulated time < now, so each
+    // published heartbeat is the state exactly at its boundary.
+    while (monitor && next_sample <= now) {
+      publish_all(nodes, next_sample);
+      monitor->tick(next_sample);
+      next_sample += monitor_interval;
+    }
     touched.clear();
     while (!events.empty() && events.top().time == now) {
       Event ev = events.top();
@@ -147,6 +223,7 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
 
       if (ev.kind == EventKind::kTileComplete) {
         ++result.tiles;
+        ++node.executed;
         // Route each outgoing edge to its consumer.
         for (int e = 0; e < model.num_edges(); ++e) {
           IntVec consumer = vec_sub(
@@ -164,9 +241,12 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
             auto src = static_cast<std::size_t>(ev.node);
             auto dsts = static_cast<std::size_t>(dst);
             ++result.messages_matrix[src][dsts];
-            result.bytes_matrix[src][dsts] += static_cast<std::uint64_t>(
+            const auto wire_bytes = static_cast<std::uint64_t>(
                 model.edges()[static_cast<std::size_t>(e)].capacity *
                 static_cast<Int>(sizeof(double)));
+            result.bytes_matrix[src][dsts] += wire_bytes;
+            ++node.sent_msgs;
+            node.sent_bytes += static_cast<long long>(wire_bytes);
           }
           events.push(
               {arrive, seq++, EventKind::kEdgeArrive, dst, consumer});
@@ -190,6 +270,14 @@ SimResult simulate(const tiling::TilingModel& model, const IntVec& params,
       }
     }
     for (int n : touched) dispatch(n, now);
+  }
+
+  if (monitor) {
+    // Final heartbeat at the makespan (all tables drained), final
+    // detector pass, run_end event.
+    publish_all(nodes, makespan);
+    monitor->stop(makespan);
+    result.stragglers = monitor->stragglers();
   }
 
   if (cfg.trace_timeline && obs::Tracer::instance().enabled()) {

@@ -17,6 +17,7 @@
 // the column-major and level-set priorities.
 
 #include "obs/analysis.hpp"
+#include "obs/monitor.hpp"
 #include "runtime/order.hpp"
 #include "tiling/balance.hpp"
 #include "tiling/model.hpp"
@@ -49,6 +50,18 @@ struct ClusterConfig {
   /// analyzer as real runs (obs/analysis.hpp); the report JSON is written
   /// here.
   std::string report_json_path;
+  /// Per-node compute slowdown factors (empty = all 1.0): tile cost on
+  /// node n is multiplied by node_slowdown[n].  The deterministic
+  /// straggler-injection knob for testing the online detector.
+  std::vector<double> node_slowdown;
+  /// When non-empty, live monitoring runs against DES time: synthetic
+  /// per-node heartbeats and the online straggler detector
+  /// (obs::Monitor), with events appended here as dpgen.events.v1 JSONL.
+  /// "-" monitors without writing a log (SimResult::stragglers only).
+  std::string events_path;
+  /// Monitor sampling period in *simulated* seconds (0 = auto: the
+  /// predicted makespan split into ~32 samples).
+  double monitor_interval_s = 0.0;
 };
 
 /// One executed tile in the recorded timeline.
@@ -81,6 +94,9 @@ struct SimResult {
   /// link-bandwidth model's scalar accounting.
   std::vector<std::vector<std::uint64_t>> bytes_matrix;
   std::vector<std::vector<std::uint64_t>> messages_matrix;
+  /// Nodes the online detector flagged (only when ClusterConfig::
+  /// events_path is set; empty on a balanced run).
+  std::vector<obs::StragglerFlag> stragglers;
 
   /// Speedup of this run relative to a serial execution of the same work.
   double speedup() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <map>
 
@@ -73,7 +74,11 @@ std::string series_svg(const std::vector<Series>& series,
   DPGEN_CHECK(npoints > 0, "series_svg: no data points");
   if (ymax <= 0.0) ymax = 1.0;
 
-  const double left = 8, right = 8, top = 24, bottom = 8;
+  // Default margins match the original chart; axis decorations widen them
+  // so old renderings (and their tests) are unchanged when unused.
+  const double left = opt.y_ticks > 0 ? 48 : 8;
+  const double right = 8, top = 24;
+  const double bottom = opt.x_labels.empty() ? 8 : 22;
   const double plot_w = opt.width_px - left - right;
   const double plot_h = opt.height_px - top - bottom;
   const double xstep = npoints > 1 ? plot_w / (npoints - 1) : 0.0;
@@ -85,6 +90,37 @@ std::string series_svg(const std::vector<Series>& series,
       "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n",
       "<text x=\"", left, "\" y=\"16\" font-family=\"sans-serif\" "
       "font-size=\"12\">", title, "</text>\n");
+
+  if (opt.y_ticks > 0) {
+    for (int k = 0; k <= opt.y_ticks; ++k) {
+      const double frac = static_cast<double>(k) / opt.y_ticks;
+      const double y = top + plot_h * (1.0 - frac);
+      char label[32];
+      std::snprintf(label, sizeof label, "%.3g", frac * ymax);
+      svg += cat("<line x1=\"", left, "\" y1=\"", y, "\" x2=\"",
+                 left + plot_w, "\" y2=\"", y,
+                 "\" stroke=\"#dddddd\" stroke-width=\"0.5\"/>\n");
+      svg += cat("<text x=\"", left - 4, "\" y=\"", y + 3,
+                 "\" font-family=\"sans-serif\" font-size=\"9\" "
+                 "fill=\"#555555\" text-anchor=\"end\">",
+                 label, "</text>\n");
+    }
+  }
+  if (!opt.x_labels.empty()) {
+    // Sample the ticks to a stride that keeps ~60px between labels.
+    const std::size_t stride =
+        xstep > 0 ? std::max<std::size_t>(
+                        1, static_cast<std::size_t>(60.0 / xstep))
+                  : 1;
+    for (std::size_t i = 0; i < opt.x_labels.size() && i < npoints;
+         i += stride) {
+      const double x = left + static_cast<double>(i) * xstep;
+      svg += cat("<text x=\"", x, "\" y=\"", opt.height_px - 6,
+                 "\" font-family=\"sans-serif\" font-size=\"9\" "
+                 "fill=\"#555555\" text-anchor=\"middle\">",
+                 opt.x_labels[i], "</text>\n");
+    }
+  }
   for (std::size_t si = 0; si < series.size(); ++si) {
     const Series& s = series[si];
     const char* color =
@@ -113,10 +149,21 @@ std::string series_svg(const std::vector<Series>& series,
       has_segment = true;
     }
     flush();
-    svg += cat("<text x=\"", left + 120 * static_cast<double>(si),
-               "\" y=\"", opt.height_px - bottom + 6,
-               "\" font-family=\"sans-serif\" font-size=\"10\" fill=\"",
-               color, "\">", s.label, "</text>\n");
+    if (opt.legend) {
+      // Legend block: swatch + label rows in the top-right corner.
+      const double lx = opt.width_px - right - 150;
+      const double ly = top + 6 + 14.0 * static_cast<double>(si);
+      svg += cat("<rect x=\"", lx, "\" y=\"", ly - 8,
+                 "\" width=\"10\" height=\"10\" fill=\"", color, "\"/>\n");
+      svg += cat("<text x=\"", lx + 14, "\" y=\"", ly + 1,
+                 "\" font-family=\"sans-serif\" font-size=\"10\">",
+                 s.label, "</text>\n");
+    } else {
+      svg += cat("<text x=\"", left + 120 * static_cast<double>(si),
+                 "\" y=\"", opt.height_px - bottom + 6,
+                 "\" font-family=\"sans-serif\" font-size=\"10\" fill=\"",
+                 color, "\">", s.label, "</text>\n");
+    }
   }
   svg += "</svg>\n";
   return svg;

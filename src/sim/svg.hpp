@@ -40,6 +40,15 @@ struct Series {
 struct SeriesSvgOptions {
   int width_px = 760;
   int height_px = 240;
+  /// Labels for the shared x positions (e.g. short git SHAs).  When
+  /// non-empty, tick labels are drawn along the x axis, sampled to a
+  /// stride that keeps them from overlapping.
+  std::vector<std::string> x_labels;
+  /// Number of horizontal y-axis gridlines with value labels (0 = none).
+  int y_ticks = 0;
+  /// Draw the series names as a legend block (color swatch + label rows,
+  /// top-right) instead of the inline bottom row.
+  bool legend = false;
 };
 
 /// Renders the series as a self-contained SVG line chart: shared x

@@ -1,6 +1,7 @@
 #include "tiling/model.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "support/error.hpp"
@@ -443,12 +444,102 @@ void TilingModel::for_each_cell(
   for_each_cell_fast(params, tile, fn);
 }
 
+Int CellCountFn::count(const IntVec& tile) const {
+  DPGEN_ASSERT(tile.size() == dims_.size());
+  Int total = 1;
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    const Dim& d = dims_[k];
+    Int lo = d.lo0;
+    Int hi = d.hi0;
+    for (const Affine& b : d.bounds) {
+      const Int r = add_ck(mul_ck(b.a, tile[k]), b.c);
+      if (b.div == 1) {
+        // Pre-normalised: r is the bound value itself (lowers were negated
+        // at build time), so the common unit-coefficient case pays no
+        // division.
+        if (b.lower)
+          lo = std::max(lo, r);
+        else
+          hi = std::min(hi, r);
+      } else if (b.lower) {
+        lo = std::max(lo, ceil_div(neg_ck(r), b.div));
+      } else {
+        hi = std::min(hi, floor_div(r, b.div));
+      }
+    }
+    if (hi < lo) return 0;
+    total = mul_ck(total, hi - lo + 1);
+  }
+  return total;
+}
+
+CellCountFn TilingModel::cell_count_fn(const IntVec& params) const {
+  CellCountFn fn;
+  if (local_nest_.levels() != d_ || local_nest_.unbounded()) return fn;
+  fn.dims_.resize(static_cast<std::size_t>(d_));
+  for (auto& d : fn.dims_) {
+    d.lo0 = std::numeric_limits<Int>::min();
+    d.hi0 = std::numeric_limits<Int>::max();
+  }
+  for (int level = 0; level < d_; ++level) {
+    const int v = local_nest_.var_at(level);
+    const int k = v - ext_local(0);
+    if (k < 0 || k >= d_) return CellCountFn{};
+    CellCountFn::Dim& dim = fn.dims_[static_cast<std::size_t>(k)];
+    auto specialize = [&](const poly::Bound& b, bool lower) -> bool {
+      CellCountFn::Affine a;
+      a.a = b.rest.coef(ext_tile(k));
+      a.c = b.rest.c;
+      a.div = lower ? b.coef : neg_ck(b.coef);
+      a.lower = lower;
+      for (int i = 0; i < b.rest.nvars(); ++i) {
+        if (b.rest.coef(i) == 0) continue;
+        if (i < p_) {
+          // Parameter: fold its value into the constant.
+          a.c = add_ck(a.c, mul_ck(b.rest.coef(i),
+                                   params[static_cast<std::size_t>(i)]));
+        } else if (i != ext_tile(k)) {
+          // Another tile index or another local variable: the extent of
+          // this dimension is coupled to it, so the product form is wrong.
+          return false;
+        }
+      }
+      if (a.a == 0) {
+        // Tile-independent: fold the finished bound value into lo0/hi0.
+        const Int val = lower ? ceil_div(neg_ck(a.c), a.div)
+                              : floor_div(a.c, a.div);
+        if (lower)
+          dim.lo0 = std::max(dim.lo0, val);
+        else
+          dim.hi0 = std::min(dim.hi0, val);
+        return true;
+      }
+      if (a.div == 1 && lower) {
+        // Normalise so count() uses a*t + c directly (see Affine).
+        a.a = neg_ck(a.a);
+        a.c = neg_ck(a.c);
+      }
+      dim.bounds.push_back(a);
+      return true;
+    };
+    for (const poly::Bound& b : local_nest_.lowers(level))
+      if (!specialize(b, true)) return CellCountFn{};
+    for (const poly::Bound& b : local_nest_.uppers(level))
+      if (!specialize(b, false)) return CellCountFn{};
+  }
+  fn.ok_ = true;
+  return fn;
+}
+
 Int TilingModel::cell_count(const IntVec& params, const IntVec& tile) const {
-  IntVec seed = ext_seed(params);
+  // Called per dispatched tile by the monitored driver hot path, so it must
+  // not allocate (same idiom as num_deps_of above).
+  thread_local IntVec seed;
+  ext_seed_into(params, seed);
   for (int k = 0; k < d_; ++k)
     seed[static_cast<std::size_t>(ext_tile(k))] =
         tile[static_cast<std::size_t>(k)];
-  return tile_cells_counter_->count(seed);
+  return tile_cells_counter_->count_in_place(seed);
 }
 
 Int TilingModel::cell_count_lb(const IntVec& params,

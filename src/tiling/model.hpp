@@ -47,6 +47,51 @@ struct Edge {
   Int capacity = 0;            // product of slab extents (upper bound)
 };
 
+/// Per-run specialisation of cell_count for per-tile hot paths (the live
+/// monitor credits a tile's cells at every dispatch).  When the local
+/// (cell) nest is separable — every local variable's bounds mention only
+/// the parameters and its own dimension's tile index — the cell count of
+/// tile t factors into a product of per-dimension extents, each a min/max
+/// of affine forms (a * t_k + c) / div with the parameters folded into c
+/// at construction.  count() then costs a handful of integer ops.  ok()
+/// is false for non-separable models (e.g. triangular local spaces);
+/// callers fall back to TilingModel::cell_count().
+class CellCountFn {
+ public:
+  CellCountFn() = default;
+
+  bool ok() const { return ok_; }
+
+  /// Cells of tile `tile` (tile.size() == model dim).  Valid only when
+  /// ok(); agrees exactly with TilingModel::cell_count at the params this
+  /// evaluator was built for.
+  Int count(const IntVec& tile) const;
+
+ private:
+  friend class TilingModel;
+
+  /// One tile-dependent bound on the local extent of a dimension,
+  /// specialised to the run's parameters.  div == 1 bounds are
+  /// pre-normalised (lowers negated) so the bound value is a*t + c with no
+  /// division; div > 1 keeps the rounding form
+  ///   lower:  ceil((-(a*t + c)) / div)    upper:  floor((a*t + c) / div).
+  struct Affine {
+    Int a = 0;
+    Int c = 0;
+    Int div = 1;
+    bool lower = false;
+  };
+  struct Dim {
+    // Constant bounds folded at build time (limits when none exist).
+    Int lo0 = 0;
+    Int hi0 = 0;
+    std::vector<Affine> bounds;  // tile-dependent bounds only (a != 0)
+  };
+
+  std::vector<Dim> dims_;  // indexed by tile dimension
+  bool ok_ = false;
+};
+
 class TilingModel {
  public:
   /// Builds the model; validates the spec first.
@@ -150,6 +195,11 @@ class TilingModel {
 
   /// Number of cells in tile t (the tile's work).
   Int cell_count(const IntVec& params, const IntVec& tile) const;
+
+  /// Builds the specialised per-tile cell counter for these parameter
+  /// values (see CellCountFn).  The result's ok() is false when the local
+  /// nest is not separable; callers then fall back to cell_count().
+  CellCountFn cell_count_fn(const IntVec& params) const;
 
   /// Work of all tiles whose load-balanced indices match `lb_values`
   /// (the paper's second Ehrhart polynomial, evaluated exactly).

@@ -257,6 +257,43 @@ TEST(EndToEnd, GeneratedLcsMatchesOracle) {
     std::remove(trace.c_str());
     std::remove(metrics.c_str());
   }
+
+  // Live monitoring: --monitor streams dpgen.events.v1 heartbeats, the
+  // run prints a MONITOR summary, and on a balanced in-process run the
+  // straggler detector stays quiet.
+  {
+    std::string events = testing::TempDir() + "/dpgen_lcs_events.jsonl";
+    auto [mstatus, mout] =
+        run_command(cat(prog.binary, args, " --ranks=2 --threads=2",
+                        " --monitor=", events, " --monitor-interval=0.002"));
+    ASSERT_EQ(mstatus, 0) << mout;
+    EXPECT_DOUBLE_EQ(parse_result(mout, p.objective), 4.0) << mout;
+    EXPECT_NE(mout.find("MONITOR heartbeats="), std::string::npos) << mout;
+    EXPECT_NE(mout.find("stragglers=0"), std::string::npos) << mout;
+
+    std::ifstream sf(DPGEN_SRC_DIR "/../tools/events_schema.json");
+    ASSERT_TRUE(sf.good());
+    std::stringstream schema_text;
+    schema_text << sf.rdbuf();
+    auto schema = json::parse(schema_text.str());
+
+    std::ifstream ef(events);
+    ASSERT_TRUE(ef.good()) << "generated program wrote no events file";
+    std::string line, first, last;
+    long long heartbeats = 0;
+    while (std::getline(ef, line)) {
+      if (first.empty()) first = line;
+      last = line;
+      auto ev = json::parse(line);
+      for (const auto& e : json::validate(*schema, *ev)) ADD_FAILURE() << e;
+      if (ev->at("event").as_string() == "heartbeat") ++heartbeats;
+    }
+    EXPECT_NE(first.find("run_start"), std::string::npos) << first;
+    EXPECT_NE(first.find("\"generated\""), std::string::npos) << first;
+    EXPECT_NE(last.find("run_end"), std::string::npos) << last;
+    EXPECT_GE(heartbeats, 1);
+    std::remove(events.c_str());
+  }
 }
 
 TEST(EndToEnd, GeneratedDelayedBanditMatchesOracle) {

@@ -326,5 +326,45 @@ TEST(EngineFailureInjection, StallTimeoutFires) {
   }
 }
 
+// ---- live telemetry -----------------------------------------------------
+
+TEST(EngineMonitor, BalancedRunIsQuietAndStillCorrect) {
+  // monitor_path "-" turns monitoring on without an event log.  A
+  // balanced in-process run must produce the right answer, at least one
+  // heartbeat per rank, and zero straggler flags, and the Monitor must
+  // unregister from the hub when the run ends.
+  tiling::TilingModel model(paths_spec(3));
+  EngineOptions opt;
+  opt.ranks = 2;
+  opt.threads = 2;
+  opt.probes = {{0, 0}};
+  opt.monitor_path = "-";
+  opt.monitor_interval = 0.002;
+  const Int N = 40;
+  auto result = run(model, {N}, paths_kernel(), opt);
+  EXPECT_DOUBLE_EQ(result.at({0, 0}), binom(2 * N, N));
+  EXPECT_TRUE(result.stragglers.empty());
+  EXPECT_EQ(obs::MonitorHub::instance().count(), 0u);
+}
+
+TEST(EngineMonitor, StallWarningFiresAtHalfTheTimeout) {
+  // The broken-dep stall from above, but monitored: at 50% of the stall
+  // budget the driver must raise a stall_warning through the Monitor
+  // (visible live) before the run aborts at 100%.
+  obs::MonitorOptions mopt;
+  mopt.nranks = 1;
+  mopt.interval_s = 0.01;
+  obs::Monitor monitor(std::move(mopt));
+  minimpi::World world(1);
+  BrokenDepCountHooks hooks;
+  runtime::RunOptions opt;
+  opt.order =
+      runtime::TileOrder({0}, {1}, runtime::PriorityPolicy::kColumnMajor);
+  opt.stall_timeout_seconds = 0.4;
+  opt.monitor = &monitor;
+  EXPECT_THROW(runtime::run_node<double>(hooks, world.comm(0), opt), Error);
+  EXPECT_GE(monitor.stall_warnings(), 1);
+}
+
 }  // namespace
 }  // namespace dpgen::engine

@@ -1,0 +1,328 @@
+// Tests for the live-telemetry monitor (obs/monitor.hpp): seqlock
+// snapshot coherence under a racing writer, the straggler detector over
+// hand-scripted heartbeat sequences (balanced pipeline fill stays quiet, a
+// slow rank is flagged by name, a rank that serialised before its peers is
+// caught retrospectively), the dpgen.events.v1 JSONL log against
+// tools/events_schema.json, and the MonitorHub registry.
+//
+// Every scenario drives the detector deterministically: sampler_thread is
+// off and the test plays publisher + DES loop itself via publish()/tick().
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "json_util.hpp"
+#include "obs/monitor.hpp"
+#include "support/json_schema.hpp"
+
+namespace dpgen {
+namespace {
+
+using obs::Monitor;
+using obs::MonitorHub;
+using obs::MonitorOptions;
+using obs::RankSnapshot;
+using obs::StragglerFlag;
+
+MonitorOptions scripted(int nranks, double interval_s = 0.1) {
+  MonitorOptions opt;
+  opt.nranks = nranks;
+  opt.interval_s = interval_s;
+  opt.sampler_thread = false;
+  opt.source = "sim";
+  opt.problem = "scripted";
+  return opt;
+}
+
+/// A heartbeat for a rank that has `executed` tiles (of `owned`) and
+/// `cells` cells in flight or done, with one busy worker.
+RankSnapshot beat(double t, long long executed, long long cells,
+                  long long owned, long long active_workers = 1,
+                  long long workers = 1) {
+  RankSnapshot s;
+  s.t_s = t;
+  s.executed = executed;
+  s.executed_cells = cells;
+  s.owned = owned;
+  s.active_workers = active_workers;
+  s.workers = workers;
+  return s;
+}
+
+TEST(MonitorSeqlock, SnapshotsAreCoherentUnderRacingWriter) {
+  Monitor mon(scripted(1));
+  constexpr long long kWrites = 20000;
+
+  std::thread writer([&] {
+    for (long long i = 1; i <= kWrites; ++i) {
+      RankSnapshot s;
+      s.t_s = static_cast<double>(i);
+      s.executed = i;
+      s.executed_cells = 3 * i;
+      s.bytes_sent = 2 * i;
+      s.owned = kWrites;
+      mon.publish(0, s);
+    }
+  });
+
+  // Reader: every observed snapshot must be internally consistent (the
+  // seqlock recheck discards torn reads) and epochs must never go back.
+  long long last_epoch = 0;
+  long long reads = 0;
+  for (;;) {
+    RankSnapshot s = mon.latest(0);
+    if (s.epoch != 0) {
+      EXPECT_GE(s.epoch, last_epoch);
+      last_epoch = s.epoch;
+      EXPECT_EQ(s.bytes_sent, 2 * s.executed);
+      EXPECT_EQ(s.executed_cells, 3 * s.executed);
+    }
+    ++reads;
+    if (s.executed == kWrites) break;
+  }
+  writer.join();
+  EXPECT_GT(reads, 0);
+  EXPECT_EQ(mon.heartbeats(), kWrites);
+  EXPECT_EQ(mon.latest(0).epoch, kWrites);
+}
+
+TEST(MonitorSeqlock, UnpublishedRankReadsAsDefault) {
+  Monitor mon(scripted(2));
+  RankSnapshot s = mon.latest(1);
+  EXPECT_EQ(s.epoch, 0);
+  EXPECT_EQ(s.executed, 0);
+  EXPECT_EQ(s.owned, 0);
+}
+
+TEST(MonitorClaim, TickArmsEachRankExactlyOnce) {
+  Monitor mon(scripted(2));
+  EXPECT_FALSE(mon.claim(0));
+  EXPECT_FALSE(mon.claim(1));
+  mon.tick(0.1);
+  EXPECT_TRUE(mon.claim(0));
+  EXPECT_FALSE(mon.claim(0));  // consumed until the next tick
+  EXPECT_TRUE(mon.claim(1));
+  mon.tick(0.2);
+  EXPECT_TRUE(mon.claim(0));
+}
+
+TEST(MonitorDetector, BalancedRanksStayQuietThroughDrain) {
+  Monitor mon(scripted(2));
+  // Both ranks complete one 100-cell tile per tick, finish at tick 10,
+  // then idle through four drain ticks.  No flag at any point.
+  for (int k = 1; k <= 14; ++k) {
+    const double t = 0.1 * k;
+    const long long done = std::min<long long>(k, 10);
+    mon.publish(0, beat(t, done, 100 * done, 10, k <= 10 ? 1 : 0));
+    mon.publish(1, beat(t, done, 100 * done, 10, k <= 10 ? 1 : 0));
+    mon.tick(t);
+  }
+  mon.stop(1.5);
+  EXPECT_TRUE(mon.stragglers().empty());
+}
+
+TEST(MonitorDetector, SlowRankIsFlaggedByName) {
+  Monitor mon(scripted(2));
+  // Rank 1 moves cells at 30% of rank 0's pace over identical active
+  // time: below the 0.5 floor, so it must be flagged (and only it).
+  for (int k = 1; k <= 8; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, k, 100 * k, 20));
+    mon.publish(1, beat(t, k, 30 * k, 20));
+    mon.tick(t);
+  }
+  mon.stop(0.9);
+  std::vector<StragglerFlag> flags = mon.stragglers();
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].rank, 1);
+  EXPECT_GT(flags[0].median_pace, flags[0].pace);
+  EXPECT_GT(flags[0].lag, 0.5);
+  EXPECT_GT(flags[0].t_s, 0.2);  // not before warmup
+}
+
+TEST(MonitorDetector, FlagIsStickyAndReportedOnce) {
+  Monitor mon(scripted(2));
+  for (int k = 1; k <= 30; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, k, 100 * k, 40));
+    mon.publish(1, beat(t, k, 30 * k, 40));
+    mon.tick(t);
+  }
+  mon.stop(3.1);
+  EXPECT_EQ(mon.stragglers().size(), 1u);
+}
+
+TEST(MonitorDetector, TooFewTilesIsNotJudged) {
+  Monitor mon(scripted(2));
+  // Rank 1 completes only two (tiny) tiles: below min_executed_tiles, so
+  // its wild apparent pace never joins the comparison.
+  for (int k = 1; k <= 8; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, k, 100 * k, 20));
+    mon.publish(1, beat(t, std::min(k, 2), 5 * std::min(k, 2), 20));
+    mon.tick(t);
+  }
+  mon.stop(0.9);
+  EXPECT_TRUE(mon.stragglers().empty());
+}
+
+TEST(MonitorDetector, StarvedRankAccruesNoActiveTime) {
+  Monitor mon(scripted(2));
+  // Rank 1 spends the first 10 ticks dependency-starved (no progress, no
+  // ready tiles, no busy workers), then runs at the same per-active-second
+  // pace as rank 0.  Wall-clock lag is not slowness: no flag.
+  for (int k = 1; k <= 20; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, std::min(k, 10), 100 * std::min(k, 10), 10,
+                        k <= 10 ? 1 : 0));
+    const long long done1 = std::max(0, k - 10);
+    mon.publish(1, beat(t, done1, 100 * done1, 10, k > 10 ? 1 : 0));
+    mon.tick(t);
+  }
+  mon.stop(2.1);
+  EXPECT_TRUE(mon.stragglers().empty());
+}
+
+TEST(MonitorDetector, TrickleFedRankIsJudgedAtTrueSpeed) {
+  Monitor mon(scripted(2));
+  // Rank 1 has two workers but only one ever busy (trickle-fed by its
+  // upstream), moving cells at half of rank 0's rate.  Per busy worker it
+  // is exactly as fast, so the utilization weighting must keep it clean.
+  for (int k = 1; k <= 12; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, k, 200 * k, 30, 2, 2));
+    mon.publish(1, beat(t, k, 100 * k, 30, 1, 2));
+    mon.tick(t);
+  }
+  mon.stop(1.3);
+  EXPECT_TRUE(mon.stragglers().empty());
+}
+
+TEST(MonitorDetector, SerializedStragglerIsCaughtRetrospectively) {
+  Monitor mon(scripted(2));
+  // Pipeline order runs the slow rank 1 to completion *before* rank 0
+  // starts (coin_change's 2-node shape): no concurrent window exists, but
+  // once rank 0 establishes the fleet pace, rank 1's frozen lifetime pace
+  // is 30% of it and the flag must still fire.
+  for (int k = 1; k <= 5; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, 0, 0, 5, 0));
+    mon.publish(1, beat(t, k, 60 * k, 5));
+    mon.tick(t);
+  }
+  for (int k = 6; k <= 12; ++k) {
+    const double t = 0.1 * k;
+    const long long done0 = std::min<long long>(k - 5, 5);
+    mon.publish(0, beat(t, done0, 200 * done0, 5, done0 < 5 ? 1 : 0));
+    mon.publish(1, beat(t, 5, 300, 5, 0));
+    mon.tick(t);
+  }
+  mon.stop(1.3);
+  std::vector<StragglerFlag> flags = mon.stragglers();
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].rank, 1);
+}
+
+TEST(MonitorDetector, CellBlindPublisherFallsBackToPredictedWork) {
+  MonitorOptions opt = scripted(2);
+  // Generated programs can't count cells (executed_cells stays 0); the
+  // detector then scales owned-fractions by the planner's work shares.
+  // Rank 1 owns half the cells of rank 0 and completes tiles at the same
+  // *tile* rate — without the weights that reads as equal pace, with them
+  // rank 1's per-second cell output is half.  Use a deep lag (4x) so the
+  // flag does not depend on the exact shares.
+  opt.predicted_work = {1000.0, 250.0};
+  Monitor mon(std::move(opt));
+  for (int k = 1; k <= 10; ++k) {
+    const double t = 0.1 * k;
+    mon.publish(0, beat(t, k, 0, 20));
+    mon.publish(1, beat(t, k, 0, 20));
+    mon.tick(t);
+  }
+  mon.stop(1.1);
+  std::vector<StragglerFlag> flags = mon.stragglers();
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].rank, 1);
+}
+
+TEST(MonitorEvents, LogValidatesAgainstSchemaAndCountsAgree) {
+  const std::string path = testing::TempDir() + "/dpgen_events_test.jsonl";
+  std::remove(path.c_str());
+  {
+    MonitorOptions opt = scripted(2);
+    opt.events_path = path;
+    opt.predicted_work = {2000.0, 2000.0};
+    Monitor mon(std::move(opt));
+    for (int k = 1; k <= 8; ++k) {
+      const double t = 0.1 * k;
+      mon.publish(0, beat(t, k, 100 * k, 20));
+      mon.publish(1, beat(t, k, 30 * k, 20));
+      mon.tick(t);
+    }
+    RankSnapshot s = beat(0.85, 8, 240, 20);
+    mon.stall_warning(1, s, 0.5, 1.0);
+    mon.stop(0.9);
+  }
+
+  std::ifstream schema_in(DPGEN_EVENTS_SCHEMA);
+  ASSERT_TRUE(schema_in.good()) << "cannot open " << DPGEN_EVENTS_SCHEMA;
+  std::stringstream schema_ss;
+  schema_ss << schema_in.rdbuf();
+  auto schema = json::parse(schema_ss.str());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<json::ValuePtr> events;
+  std::string line;
+  long long heartbeats = 0, stragglers = 0, stall_warnings = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    auto ev = json::parse(line);
+    std::vector<std::string> errors = json::validate(*schema, *ev);
+    EXPECT_TRUE(errors.empty())
+        << line << "\n first violation: " << errors.front();
+    const std::string& kind = ev->at("event").as_string();
+    if (kind == "heartbeat") ++heartbeats;
+    if (kind == "straggler") {
+      ++stragglers;
+      EXPECT_EQ(ev->at("rank").as_number(), 1);
+    }
+    if (kind == "stall_warning") ++stall_warnings;
+    events.push_back(std::move(ev));
+  }
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events.front()->at("event").as_string(), "run_start");
+  EXPECT_EQ(events.front()->at("problem").as_string(), "scripted");
+  EXPECT_EQ(events.back()->at("event").as_string(), "run_end");
+  EXPECT_EQ(heartbeats, 16);
+  EXPECT_EQ(stragglers, 1);
+  EXPECT_EQ(stall_warnings, 1);
+  // run_end carries the totals the log itself shows.
+  EXPECT_EQ(events.back()->at("heartbeats").as_number(), heartbeats);
+  EXPECT_EQ(events.back()->at("stragglers").as_number(), stragglers);
+  EXPECT_EQ(events.back()->at("stall_warnings").as_number(), stall_warnings);
+  std::remove(path.c_str());
+}
+
+TEST(MonitorHubRegistry, MonitorsRegisterForTheirLifetime) {
+  const std::size_t base = MonitorHub::instance().count();
+  {
+    Monitor mon(scripted(3));
+    EXPECT_EQ(MonitorHub::instance().count(), base + 1);
+    std::size_t seen = 0;
+    MonitorHub::instance().visit([&](Monitor& m) {
+      ++seen;
+      EXPECT_EQ(m.options().nranks, 3);
+    });
+    EXPECT_EQ(seen, base + 1);
+  }
+  EXPECT_EQ(MonitorHub::instance().count(), base);
+}
+
+}  // namespace
+}  // namespace dpgen

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "runtime/driver.hpp"
 #include "runtime/order.hpp"
@@ -278,6 +280,77 @@ TEST(EdgeWire, FloatScalarsSupported) {
   std::vector<float> out;
   detail::decode_edge<float>(buf, 2, 8, &edge, &consumer, &out);
   EXPECT_EQ(out, payload);
+}
+
+TEST(RuntimeSnapshot, TracksPendingReadyBuffered) {
+  ShardedTileTable<double> table(default_order(), 2);
+  auto two = [](const IntVec&) { return 2; };
+  table.deliver({1, 1}, two, {0, {1.0}});
+  TableSnapshot s = table.snapshot();
+  EXPECT_EQ(s.pending_tiles, 1);
+  EXPECT_EQ(s.ready_tiles, 0);
+  EXPECT_EQ(s.buffered_edges, 1);
+  table.deliver({1, 1}, two, {1, {2.0}});
+  s = table.snapshot();
+  EXPECT_EQ(s.pending_tiles, 0);
+  EXPECT_EQ(s.ready_tiles, 1);
+  EXPECT_EQ(s.buffered_edges, 2);  // ready tiles still hold their edges
+  ASSERT_TRUE(table.pop(0).has_value());
+  s = table.snapshot();
+  EXPECT_EQ(s.pending_tiles, 0);
+  EXPECT_EQ(s.ready_tiles, 0);
+  EXPECT_EQ(s.buffered_edges, 0);
+}
+
+TEST(RuntimeSnapshot, ConcurrentWithDeliverAndPop) {
+  // The monitor samples snapshot() from outside the worker threads while
+  // edges stream in and tiles are popped.  Every tile needs exactly two
+  // edges, so any consistent observation satisfies
+  //   buffered_edges == pending_tiles + 2 * ready_tiles
+  // per shard — and the sum of per-shard identities is the identity on
+  // the summed snapshot, no matter when each shard was read.
+  constexpr Int kTiles = 2000;
+  ShardedTileTable<double> table(default_order(), 4);
+  auto two = [](const IntVec&) { return 2; };
+  std::atomic<bool> done{false};
+
+  std::thread producer([&] {
+    for (Int i = 0; i < kTiles; ++i) {
+      table.deliver({i, i + 1}, two, {0, {1.0}});
+      table.deliver({i, i + 1}, two, {1, {2.0, 3.0}});
+    }
+  });
+  std::thread consumer([&] {
+    Int popped = 0;
+    while (popped < kTiles) {
+      auto t = table.pop(static_cast<int>(popped) % 4);
+      if (t) {
+        EXPECT_EQ(t->edges.size(), 2u);
+        ++popped;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  long long observations = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    TableSnapshot s = table.snapshot();
+    EXPECT_GE(s.pending_tiles, 0);
+    EXPECT_GE(s.ready_tiles, 0);
+    EXPECT_GE(s.buffered_edges, 0);
+    EXPECT_LE(s.pending_tiles, kTiles);
+    EXPECT_EQ(s.buffered_edges, s.pending_tiles + 2 * s.ready_tiles);
+    ++observations;
+  }
+  producer.join();
+  consumer.join();
+  EXPECT_GT(observations, 0);
+
+  TableSnapshot end = table.snapshot();
+  EXPECT_EQ(end.pending_tiles, 0);
+  EXPECT_EQ(end.ready_tiles, 0);
+  EXPECT_EQ(end.buffered_edges, 0);
+  EXPECT_TRUE(table.idle());
 }
 
 }  // namespace

@@ -400,5 +400,88 @@ TEST(SimBalance, HyperplaneMethodRunsOnWedge) {
   EXPECT_LE(hyper.makespan, perdim.makespan * 2.0);
 }
 
+TEST(SimMonitor, BalancedRunFlagsNoStraggler) {
+  tiling::TilingModel model(grid_spec(4));
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cores_per_node = 2;
+  cfg.events_path = "-";  // monitor without an event log
+  SimResult r = simulate(model, {63}, cfg);
+  EXPECT_TRUE(r.stragglers.empty());
+}
+
+TEST(SimMonitor, SlowedNodeIsFlaggedByName) {
+  tiling::TilingModel model(grid_spec(4));
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cores_per_node = 2;
+  cfg.events_path = "-";
+  cfg.node_slowdown = {1.0, 4.0};
+  SimResult r = simulate(model, {63}, cfg);
+  ASSERT_FALSE(r.stragglers.empty());
+  for (const auto& f : r.stragglers) {
+    EXPECT_EQ(f.rank, 1);
+    EXPECT_LT(f.pace, f.median_pace);
+  }
+  // The skew is real: the same problem without the slowdown is faster.
+  cfg.node_slowdown.clear();
+  SimResult balanced = simulate(model, {63}, cfg);
+  EXPECT_LT(balanced.makespan, r.makespan);
+}
+
+TEST(SimMonitor, EventLogIsWrittenAndDeterministic) {
+  tiling::TilingModel model(grid_spec(4));
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cores_per_node = 2;
+  cfg.events_path = testing::TempDir() + "/dpgen_sim_events.jsonl";
+  SimResult a = simulate(model, {63}, cfg);
+  std::ifstream in(cfg.events_path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  ASSERT_TRUE(std::getline(in, first));
+  EXPECT_NE(first.find("run_start"), std::string::npos);
+  EXPECT_NE(first.find("\"sim\""), std::string::npos);
+  long long lines = 1;
+  std::string line, last;
+  while (std::getline(in, line)) {
+    ++lines;
+    last = line;
+  }
+  EXPECT_NE(last.find("run_end"), std::string::npos);
+  EXPECT_GE(lines, 4);  // run_start + >=1 heartbeat per node + run_end
+  // DES time drives the monitor, so a rerun reproduces the log exactly.
+  std::remove(cfg.events_path.c_str());
+  SimResult b = simulate(model, {63}, cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  std::ifstream in2(cfg.events_path);
+  long long lines2 = 0;
+  while (std::getline(in2, line)) ++lines2;
+  EXPECT_EQ(lines, lines2);
+  std::remove(cfg.events_path.c_str());
+}
+
+TEST(SimMonitor, SeriesSvgDrawsTicksAndLegend) {
+  std::vector<Series> series;
+  series.push_back({"node 0", {0.0, 0.4, 0.8, 1.0}});
+  series.push_back({"node 1", {0.0, 0.2, 0.6, 1.0}});
+  SeriesSvgOptions opt;
+  opt.x_labels = {"0ms", "1ms", "2ms", "3ms"};
+  opt.y_ticks = 4;
+  opt.legend = true;
+  std::string svg = series_svg(series, "completed fraction", opt);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  for (const auto& lbl : opt.x_labels)
+    EXPECT_NE(svg.find(lbl), std::string::npos) << lbl;
+  EXPECT_NE(svg.find("node 0"), std::string::npos);
+  EXPECT_NE(svg.find("node 1"), std::string::npos);
+  // y gridlines carry value labels; 1.0 is the series maximum.
+  EXPECT_NE(svg.find("1"), std::string::npos);
+  // Defaults stay byte-compatible with the pre-tick renderer: no axis
+  // tick text and the inline label row instead of the legend block.
+  std::string plain = series_svg(series, "completed fraction");
+  EXPECT_EQ(plain.find("0ms"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dpgen::sim

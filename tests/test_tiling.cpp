@@ -236,6 +236,36 @@ TEST(TilingCounts, CellCountsMatchScan) {
   });
 }
 
+TEST(TilingCounts, CellCountFnMatchesGenericOnSeparableSpec) {
+  // Rectangular local space with widths that do not divide the extent, so
+  // boundary tiles are clipped in one or both dimensions.
+  spec::ProblemSpec s;
+  s.name("g").params({"N"}).vars({"x", "y"});
+  s.constraint("x >= 0").constraint("y >= 0");
+  s.constraint("x <= N").constraint("y <= N");
+  s.dep("r1", {1, 0}).dep("r2", {0, 1});
+  s.load_balance({"x"}).tile_widths({3, 4});
+  s.center_code("V[loc] = 0.0;");
+  TilingModel m(std::move(s));
+  IntVec params{13};
+  CellCountFn fn = m.cell_count_fn(params);
+  ASSERT_TRUE(fn.ok());
+  Int total = 0;
+  m.for_each_tile(params, [&](const IntVec& t) {
+    EXPECT_EQ(fn.count(t), m.cell_count(params, t)) << vec_to_string(t);
+    total += fn.count(t);
+  });
+  EXPECT_EQ(total, m.total_cells(params));
+}
+
+TEST(TilingCounts, CellCountFnRejectsCoupledLocalSpace) {
+  // x + y <= N couples the two local variables: the per-dimension product
+  // form is invalid, so the specialised counter must decline and leave
+  // callers on the generic path.
+  TilingModel m(triangle_spec(3, {{1, 0}, {0, 1}}));
+  EXPECT_FALSE(m.cell_count_fn({10}).ok());
+}
+
 TEST(LoadBalance, SingleRankOwnsEverything) {
   TilingModel m(triangle_spec(4, {{1, 0}, {0, 1}}));
   LoadBalancer lb(m, {15}, 1);

@@ -27,6 +27,15 @@
 //       critical path, path length, comm totals, measured imbalance) —
 //       the before/after view of an optimisation.  Text to stdout; pass
 //       --report=FILE for the dpgen.reportdiff.v1 JSON as well.
+//
+//   dpgen-analyze --events=FILE [--schema=tools/events_schema.json]
+//                 [--report=report.json]
+//       summarizes a live dpgen.events.v1 JSONL log (heartbeats,
+//       stragglers, stall warnings).  With --schema every line is
+//       validated; with --report the final heartbeat totals are
+//       cross-checked against the post-hoc dpgen.report.v1 (per-rank
+//       executed tiles and total bytes/messages must conserve between the
+//       live and post-hoc views).  Exit 1 on any violation or mismatch.
 
 #include <cstdio>
 #include <cstring>
@@ -65,6 +74,7 @@ struct Options {
   std::string trace_in;
   std::string validate_path;
   std::string schema_path;
+  std::string events_in;
   std::string diff_old;
   std::string diff_new;
   bool list = false;
@@ -154,8 +164,9 @@ int usage(const char* argv0) {
       "       %s --trace=FILE [--problem=NAME --params=..] [--report=FILE]\n"
       "       %s --validate=REPORT --schema=SCHEMA\n"
       "       %s --diff OLD.json NEW.json [--report=FILE]\n"
+      "       %s --events=FILE [--schema=SCHEMA] [--report=REPORT]\n"
       "       %s --list\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -277,6 +288,153 @@ int run_trace(const Options& opt) {
   return 0;
 }
 
+/// Live-vs-post-hoc conservation check: summarizes a dpgen.events.v1 JSONL
+/// log, optionally schema-validating every line, and cross-checks the final
+/// per-rank heartbeat totals against a dpgen.report.v1 document.
+int run_events(const Options& opt) {
+  std::ifstream in(opt.events_in);
+  if (!in.good()) {
+    std::fprintf(stderr, "dpgen-analyze: cannot read '%s'\n",
+                 opt.events_in.c_str());
+    return 2;
+  }
+  json::ValuePtr schema;
+  if (!opt.schema_path.empty())
+    schema = json::parse(read_file(opt.schema_path));
+
+  long long lines = 0, heartbeats = 0, stragglers = 0, stall_warnings = 0;
+  int nranks = 0;
+  bool saw_run_start = false, saw_run_end = false;
+  std::vector<json::ValuePtr> last_heartbeat;  // per rank
+  std::vector<int> straggler_ranks;
+  int violations = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    ++lines;
+    json::ValuePtr ev;
+    try {
+      ev = json::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dpgen-analyze: line %lld: bad JSON: %s\n",
+                   lines, e.what());
+      ++violations;
+      continue;
+    }
+    if (schema) {
+      for (const std::string& err : json::validate(*schema, *ev)) {
+        std::fprintf(stderr,
+                     "dpgen-analyze: line %lld: schema violation %s\n",
+                     lines, err.c_str());
+        ++violations;
+      }
+    }
+    const std::string kind =
+        ev->has("event") ? ev->at("event").as_string() : "";
+    if (kind == "run_start") {
+      saw_run_start = true;
+      if (ev->has("nranks"))
+        nranks = static_cast<int>(ev->at("nranks").as_number());
+      last_heartbeat.resize(static_cast<std::size_t>(std::max(nranks, 0)));
+    } else if (kind == "heartbeat") {
+      ++heartbeats;
+      const int r = ev->has("rank")
+                        ? static_cast<int>(ev->at("rank").as_number())
+                        : -1;
+      if (r >= 0) {
+        if (r >= static_cast<int>(last_heartbeat.size()))
+          last_heartbeat.resize(static_cast<std::size_t>(r) + 1);
+        last_heartbeat[static_cast<std::size_t>(r)] = std::move(ev);
+      }
+    } else if (kind == "straggler") {
+      ++stragglers;
+      if (ev->has("rank"))
+        straggler_ranks.push_back(
+            static_cast<int>(ev->at("rank").as_number()));
+    } else if (kind == "stall_warning") {
+      ++stall_warnings;
+    } else if (kind == "run_end") {
+      saw_run_end = true;
+    }
+  }
+  if (!saw_run_start || !saw_run_end) {
+    std::fprintf(stderr,
+                 "dpgen-analyze: events log is %s (run_start %s, run_end "
+                 "%s)\n",
+                 lines == 0 ? "empty" : "truncated",
+                 saw_run_start ? "present" : "missing",
+                 saw_run_end ? "present" : "missing");
+    ++violations;
+  }
+
+  auto mismatch = [&](const std::string& what) {
+    std::fprintf(stderr, "dpgen-analyze: conservation mismatch: %s\n",
+                 what.c_str());
+    ++violations;
+  };
+  if (opt.report_path_set) {
+    json::ValuePtr report = json::parse(read_file(opt.report_path));
+    const int report_ranks =
+        report->has("nranks")
+            ? static_cast<int>(report->at("nranks").as_number())
+            : 0;
+    if (report_ranks != nranks)
+      mismatch(cat("events nranks ", nranks, " vs report nranks ",
+                   report_ranks));
+    long long live_bytes = 0, live_messages = 0;
+    if (report->has("load_balance") &&
+        report->at("load_balance").has("ranks")) {
+      for (const json::ValuePtr& audit :
+           report->at("load_balance").at("ranks").as_array()) {
+        const int r = static_cast<int>(audit->at("rank").as_number());
+        const long long tiles =
+            static_cast<long long>(audit->at("tiles").as_number());
+        if (r < 0 || r >= static_cast<int>(last_heartbeat.size()) ||
+            !last_heartbeat[static_cast<std::size_t>(r)]) {
+          mismatch(cat("report rank ", r, " has no heartbeat"));
+          continue;
+        }
+        const json::Value& hb = *last_heartbeat[static_cast<std::size_t>(r)];
+        const long long executed =
+            static_cast<long long>(hb.at("executed").as_number());
+        if (executed != tiles)
+          mismatch(cat("rank ", r, ": live executed ", executed,
+                       " vs post-hoc tiles ", tiles));
+        live_bytes += static_cast<long long>(hb.at("bytes_sent").as_number());
+        live_messages +=
+            static_cast<long long>(hb.at("messages_sent").as_number());
+      }
+    }
+    if (report->has("comm_matrix")) {
+      const json::Value& cm = report->at("comm_matrix");
+      const long long total_bytes =
+          static_cast<long long>(cm.at("total_bytes").as_number());
+      const long long total_messages =
+          static_cast<long long>(cm.at("total_messages").as_number());
+      if (live_bytes != total_bytes)
+        mismatch(cat("live bytes_sent total ", live_bytes,
+                     " vs post-hoc total_bytes ", total_bytes));
+      if (live_messages != total_messages)
+        mismatch(cat("live messages_sent total ", live_messages,
+                     " vs post-hoc total_messages ", total_messages));
+    }
+  }
+
+  std::string flagged;
+  for (std::size_t i = 0; i < straggler_ranks.size(); ++i)
+    flagged += cat(i ? "," : " flagged_ranks=", straggler_ranks[i]);
+  std::printf(
+      "events=%lld heartbeats=%lld stragglers=%lld stall_warnings=%lld "
+      "ranks=%d%s\n",
+      lines, heartbeats, stragglers, stall_warnings, nranks,
+      flagged.c_str());
+  if (violations == 0 && opt.report_path_set)
+    std::printf("conservation check passed (%s vs %s)\n",
+                opt.events_in.c_str(), opt.report_path.c_str());
+  return violations == 0 ? 0 : 1;
+}
+
 int run_problem(const Options& opt) {
   const Entry* entry = find_entry(opt.problem);
   if (!entry) {
@@ -341,6 +499,7 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--trace=")) opt.trace_in = v;
     else if (const char* v = value("--validate=")) opt.validate_path = v;
     else if (const char* v = value("--schema=")) opt.schema_path = v;
+    else if (const char* v = value("--events=")) opt.events_in = v;
     else if (const char* v = value("--diff=")) {
       const std::vector<std::string> parts = split(v, ",");
       if (parts.size() != 2) return usage(argv[0]);
@@ -367,6 +526,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (!opt.validate_path.empty()) return run_validate(opt);
+    if (!opt.events_in.empty()) return run_events(opt);
     if (!opt.diff_old.empty()) return run_diff(opt);
     if (!opt.trace_in.empty()) return run_trace(opt);
     if (!opt.problem.empty()) return run_problem(opt);

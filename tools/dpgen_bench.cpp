@@ -210,6 +210,13 @@ int run_trend(const Options& opt) {
   for (const obs::BenchDoc& d : docs)
     html += cat("<li>", d.meta.git_sha, " @ ", d.meta.timestamp, "</li>\n");
   html += "</ol>\n";
+  // Axis ticks + legend: x positions are commits (short SHAs), y is
+  // auto-scaled seconds with labelled gridlines.
+  sim::SeriesSvgOptions svg_opt;
+  for (const obs::BenchDoc& d : docs)
+    svg_opt.x_labels.push_back(d.meta.git_sha.substr(0, 8));
+  svg_opt.y_ticks = 4;
+  svg_opt.legend = true;
   for (const auto& [family, benches] : families) {
     std::vector<sim::Series> series;
     for (const auto& [name, y] : benches) {
@@ -220,7 +227,8 @@ int run_trend(const Options& opt) {
       series.push_back(std::move(s));
     }
     html += cat("<h2>", family, "</h2>\n",
-                sim::series_svg(series, cat(family, " median seconds")));
+                sim::series_svg(series, cat(family, " median seconds"),
+                                svg_opt));
   }
   html += "</body></html>\n";
 
