@@ -74,7 +74,11 @@ int main(int argc, char** argv) {
     codegen::GenOptions gen_opt;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--probe=", 8) == 0) {
+      if (std::strncmp(argv[i], "--passes=", 9) == 0) {
+        // Codegen optimization pipeline (docs/codegen.md):
+        //   --passes=none | full | canonicalize,unroll:4,layout
+        gen_opt.passes = codegen::PassPipeline::parse(argv[i] + 9);
+      } else if (std::strncmp(argv[i], "--probe=", 8) == 0) {
         // --probe=1,2,3 adds a location whose value the program prints.
         IntVec point;
         const char* p = argv[i] + 8;
@@ -98,7 +102,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sample | <spec.txt> <out.cpp> "
-                   "[--probe=c1,c2,...]]\n",
+                   "[--probe=c1,c2,...] [--passes=none|full|LIST]]\n",
                    argv[0]);
       return 2;
     }

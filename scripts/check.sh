@@ -68,6 +68,65 @@ build/tools/dpgen-analyze --events=build/monitor-smoke/skew.jsonl \
   --schema=tools/events_schema.json > /dev/null
 echo "live-monitor smoke passed"
 
+echo "==== vectorization smoke (codegen pass pipeline)"
+# The canonicalize pass exists to make the innermost loop vectorizable at
+# the baseline ISA: the interior segment's guarded loads fold to
+# unconditional ones, and GCC must report the loop on the emitted
+# "dpgen:vec-inner" marker line vectorized at plain -O3 (no -march=native —
+# wide ISAs mask-vectorize even the unsplit loop, which would hide a
+# canonicalization regression).  Clang has no -fopt-info; probe the flag
+# and skip (with a notice) on non-GCC toolchains.
+CXX_BIN="${CXX:-c++}"
+rm -rf build/vec-smoke && mkdir -p build/vec-smoke
+cat > build/vec-smoke/trellis.spec <<'EOF'
+problem trellis
+params T S
+vars t s
+array V double
+
+constraints {
+  t >= 0
+  t <= T
+  s >= 0
+  s <= S
+}
+
+dep up_left = (1, -1)
+dep up = (1, 0)
+dep up_right = (1, 1)
+
+loadbalance t
+tilewidths 1 4096
+
+center {{{
+double dp_v = 0.25 + (double)(int)((3*t + 5*s) & 7) * 0.125;
+if (is_valid_up_left) dp_v += 0.3125 * V[loc_up_left];
+if (is_valid_up) dp_v += 0.375 * V[loc_up];
+if (is_valid_up_right) dp_v += 0.28125 * V[loc_up_right];
+V[loc] = dp_v;
+}}}
+EOF
+build/examples/generate_program --passes=canonicalize \
+  build/vec-smoke/trellis.spec build/vec-smoke/trellis.cpp > /dev/null
+if echo 'int main(){}' | "$CXX_BIN" -x c++ - -fopt-info-vec \
+    -o build/vec-smoke/probe 2> /dev/null; then
+  vec_line="$(grep -n 'dpgen:vec-inner' build/vec-smoke/trellis.cpp \
+    | head -1 | cut -d: -f1)"
+  [[ -n "$vec_line" ]]
+  "$CXX_BIN" -std=c++20 -O3 -fopenmp -DDPGEN_RUNTIME_USE_OPENMP -Isrc \
+    -fopt-info-vec -c build/vec-smoke/trellis.cpp \
+    -o build/vec-smoke/trellis.o 2> build/vec-smoke/vec.log
+  grep -q ":${vec_line}:.*loop vectorized" build/vec-smoke/vec.log || {
+    echo "ERROR: canonicalized interior loop (line ${vec_line}) did not" \
+         "vectorize at -O3; -fopt-info-vec output:" >&2
+    cat build/vec-smoke/vec.log >&2
+    exit 1
+  }
+  echo "vectorization smoke passed (interior loop at line ${vec_line})"
+else
+  echo "vectorization smoke skipped (compiler lacks -fopt-info-vec)"
+fi
+
 if [[ "${1:-}" != "--quick" ]]; then
   for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue
@@ -84,10 +143,14 @@ if [[ "${1:-}" != "--quick" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  # test_codegen_passes rides along: its end-to-end cases compile the
+  # generated programs with the flavour's flags (std::thread workers,
+  # TSan-instrumented) and run them 2-rank/2-thread, so the generated
+  # driver loop itself gets a race check.
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
-    test_engine test_hotpath test_monitor
+    test_engine test_hotpath test_monitor test_codegen_passes
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor'
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
   cmake -B build-notrace -G Ninja -DDPGEN_TRACE=OFF
@@ -111,12 +174,36 @@ if [[ "${1:-}" != "--quick" ]]; then
   # the baseline and exits green; later runs fail on a real regression.
   # hotpath/grid_w2 vs hotpath/grid_w2_mon also tracks the live-monitor
   # overhead budget (< 3% of edge throughput) across commits.
+  # codegen/ additionally carries the pass-pipeline speedup contract: the
+  # full-pipeline variant must hold >= 1.3x the pass-free center-loop
+  # throughput on at least two families (checked below from the same run).
   gate_filter="fm,initial_tiles,loadbalance/balancer,analysis,suite/lcs2"
   gate_filter="$gate_filter,hotpath/grid_w2,hotpath/table_deliver_pop"
+  gate_filter="$gate_filter,codegen/"
   build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \
     --json="bench-archive/run-latest.json" --archive --gate
   build-release/tools/dpgen-bench \
     --validate=bench-archive/run-latest.json --schema=tools/bench_schema.json
+  # Pass-pipeline speedup gate: full vs none center-loop throughput from
+  # the run just archived.  Unlike the regression gate this is an absolute
+  # contract (docs/codegen.md), not a comparison against a baseline.
+  python3 - bench-archive/run-latest.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rate = {}
+for b in doc["benches"]:
+    if b["name"].startswith("codegen/"):
+        fam, variant = b["name"].split("/", 1)[1].rsplit("_", 1)
+        rate.setdefault(fam, {})[variant] = b["metrics"]["cells_per_sec"]
+ratios = {f: r["full"] / r["none"]
+          for f, r in rate.items() if r.get("none") and r.get("full")}
+ok = sorted(f for f, x in ratios.items() if x >= 1.3)
+print("codegen pass-pipeline speedup:",
+      ", ".join(f"{f} {ratios[f]:.2f}x" for f in sorted(ratios)) or "none")
+if len(ok) < 2:
+    sys.exit("codegen perf gate: >= 1.3x on %d/%d families (need 2)"
+             % (len(ok), len(ratios)))
+EOF
   # The checked-in smoke baseline gates too (skips with a warning on a
   # different machine fingerprint).
   build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \

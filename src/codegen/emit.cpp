@@ -59,19 +59,41 @@ std::string expr_cpp(const poly::LinExpr& e,
   return out;
 }
 
+namespace {
+
+/// True when `div` divides every coefficient and the constant of `e` —
+/// the rounding in ceil/floor division is then vacuous.
+bool exactly_divisible(const poly::LinExpr& e, Int div) {
+  for (Int a : e.coeffs)
+    if (a % div != 0) return false;
+  return e.c % div == 0;
+}
+
+poly::LinExpr divided(poly::LinExpr e, Int div) {
+  for (auto& a : e.coeffs) a /= div;
+  e.c /= div;
+  return e;
+}
+
+}  // namespace
+
 std::string bound_cpp(const poly::Bound& b,
                       const std::vector<std::string>& names) {
   if (b.coef > 0) {
-    // coef*v + rest >= 0  ->  v >= ceil(-rest / coef)
-    std::string rest = expr_cpp(-b.rest, names);
-    if (b.coef == 1) return "(" + rest + ")";
-    return cat("dp_ceildiv(", rest, ", ", b.coef, "LL)");
+    // coef*v + rest >= 0  ->  v >= ceil(-rest / coef).  Unit coefficients
+    // and exact divisors fold to the plain expression: no dp_ceildiv call
+    // (and nothing opaque to the vectorizer) in the emitted bound.
+    if (b.coef == 1) return "(" + expr_cpp(-b.rest, names) + ")";
+    if (exactly_divisible(b.rest, b.coef))
+      return "(" + expr_cpp(divided(-b.rest, b.coef), names) + ")";
+    return cat("dp_ceildiv(", expr_cpp(-b.rest, names), ", ", b.coef, "LL)");
   }
   // coef*v + rest >= 0 with coef < 0  ->  v <= floor(rest / -coef)
-  std::string rest = expr_cpp(b.rest, names);
   Int div = neg_ck(b.coef);
-  if (div == 1) return "(" + rest + ")";
-  return cat("dp_floordiv(", rest, ", ", div, "LL)");
+  if (div == 1) return "(" + expr_cpp(b.rest, names) + ")";
+  if (exactly_divisible(b.rest, div))
+    return "(" + expr_cpp(divided(b.rest, div), names) + ")";
+  return cat("dp_floordiv(", expr_cpp(b.rest, names), ", ", div, "LL)");
 }
 
 namespace {

@@ -24,6 +24,7 @@
 
 #include <string>
 
+#include "codegen/passes.hpp"
 #include "tiling/model.hpp"
 
 namespace dpgen::codegen {
@@ -36,6 +37,11 @@ struct GenOptions {
   /// objective shape of local-alignment style problems): the program
   /// prints a "MAX (coords) = value" line.
   bool track_max = false;
+  /// Optimization passes applied to the emitted center loop and tile
+  /// buffer layout (docs/codegen.md).  Default: none — the paper's plain
+  /// Fig. 3 emission.  Programs generated with loop passes also accept
+  /// --passes=none|full at run time to fall back to the plain nest.
+  PassPipeline passes;
 };
 
 /// Returns the complete C++ source of the generated program.

@@ -180,6 +180,7 @@ AnalysisReport analyze(const AnalysisInput& input) {
   report.source = input.source;
   report.problem = input.problem;
   report.params = input.params;
+  report.passes = input.passes;
   report.spans_dropped = input.spans_dropped;
   if (input.spans_dropped > 0)
     report.warnings.push_back(
@@ -408,9 +409,12 @@ std::string report_json(const AnalysisReport& r) {
       "{\"schema\":\"dpgen.report.v1\"",
       ",\"source\":", json_string(r.source),
       ",\"problem\":", json_string(r.problem),
-      ",\"params\":", json_vec(r.params), ",\"nranks\":", r.nranks,
-      ",\"makespan_seconds\":", num(r.makespan_s),
-      ",\"spans_dropped\":", r.spans_dropped, ",\"warnings\":[");
+      ",\"params\":", json_vec(r.params), ",\"passes\":[");
+  for (std::size_t i = 0; i < r.passes.size(); ++i)
+    out += cat(i ? "," : "", json_string(r.passes[i]));
+  out += cat("],\"nranks\":", r.nranks,
+             ",\"makespan_seconds\":", num(r.makespan_s),
+             ",\"spans_dropped\":", r.spans_dropped, ",\"warnings\":[");
   for (std::size_t i = 0; i < r.warnings.size(); ++i)
     out += cat(i ? "," : "", json_string(r.warnings[i]));
   out += "],\n\"critical_path\":{\"tiles\":[";
@@ -453,6 +457,8 @@ std::string report_text(const AnalysisReport& r) {
   if (!r.params.empty()) out += cat("  params ", vec_to_string(r.params));
   out += cat("\nranks: ", r.nranks,
              "   makespan: ", num(r.makespan_s * 1e3), " ms\n");
+  if (!r.passes.empty())
+    out += cat("codegen passes: ", join(r.passes, ","), "\n");
   if (r.spans_dropped > 0)
     out += cat("WARNING: ", r.spans_dropped,
                " spans dropped — timeline incomplete, attribution biased\n");
@@ -536,14 +542,17 @@ PhaseBreakdown parse_breakdown(const json::Value& b) {
 }
 
 void write_diff_side(json::Writer& w, const std::string& source,
-                     const std::string& problem, double makespan_s,
-                     long long path_tiles, const PhaseBreakdown& phases,
-                     double bytes, double messages, double imbalance) {
+                     const std::string& problem, const std::string& passes,
+                     double makespan_s, long long path_tiles,
+                     const PhaseBreakdown& phases, double bytes,
+                     double messages, double imbalance) {
   w.begin_object();
   w.key("source");
   w.value(source);
   w.key("problem");
   w.value(problem);
+  w.key("passes");
+  w.value(passes);
   w.key("makespan_s");
   w.value(makespan_s);
   w.key("path_tiles");
@@ -593,11 +602,18 @@ ReportDelta diff_reports(const json::Value& old_report,
 
   ReportDelta d;
   auto side = [](const json::Value& r, std::string* source,
-                 std::string* problem, double* makespan,
+                 std::string* problem, std::string* passes, double* makespan,
                  long long* path_tiles, PhaseBreakdown* phases,
                  double* bytes, double* messages, double* imbalance) {
     if (r.has("source")) *source = r.at("source").as_string();
     if (r.has("problem")) *problem = r.at("problem").as_string();
+    if (r.has("passes")) {
+      // "passes" joined with "," (absent in pre-pass-pipeline documents).
+      std::vector<std::string> names;
+      for (const auto& item : r.at("passes").items)
+        names.push_back(item->as_string());
+      *passes = join(names, ",");
+    }
     *makespan = field_num(r, "makespan_seconds");
     if (r.has("critical_path")) {
       const json::Value& cp = r.at("critical_path");
@@ -612,12 +628,12 @@ ReportDelta diff_reports(const json::Value& old_report,
     if (r.has("load_balance"))
       *imbalance = field_num(r.at("load_balance"), "measured_imbalance");
   };
-  side(old_report, &d.old_source, &d.old_problem, &d.old_makespan_s,
-       &d.old_path_tiles, &d.old_phases, &d.old_total_bytes,
-       &d.old_total_messages, &d.old_measured_imbalance);
-  side(new_report, &d.new_source, &d.new_problem, &d.new_makespan_s,
-       &d.new_path_tiles, &d.new_phases, &d.new_total_bytes,
-       &d.new_total_messages, &d.new_measured_imbalance);
+  side(old_report, &d.old_source, &d.old_problem, &d.old_passes,
+       &d.old_makespan_s, &d.old_path_tiles, &d.old_phases,
+       &d.old_total_bytes, &d.old_total_messages, &d.old_measured_imbalance);
+  side(new_report, &d.new_source, &d.new_problem, &d.new_passes,
+       &d.new_makespan_s, &d.new_path_tiles, &d.new_phases,
+       &d.new_total_bytes, &d.new_total_messages, &d.new_measured_imbalance);
   return d;
 }
 
@@ -628,6 +644,9 @@ std::string diff_text(const ReportDelta& d) {
   if (d.old_problem != d.new_problem)
     out += "warning: the reports describe different problems; the deltas "
            "compare apples to oranges\n";
+  if (d.old_passes != d.new_passes)
+    out += cat("codegen passes: [", d.old_passes, "] -> [", d.new_passes,
+               "]\n");
   out +=
       "  metric           old            new            delta          "
       "rel\n";
@@ -669,13 +688,15 @@ std::string diff_json(const ReportDelta& d) {
   w.key("schema");
   w.value("dpgen.reportdiff.v1");
   w.key("old");
-  write_diff_side(w, d.old_source, d.old_problem, d.old_makespan_s,
-                  d.old_path_tiles, d.old_phases, d.old_total_bytes,
-                  d.old_total_messages, d.old_measured_imbalance);
+  write_diff_side(w, d.old_source, d.old_problem, d.old_passes,
+                  d.old_makespan_s, d.old_path_tiles, d.old_phases,
+                  d.old_total_bytes, d.old_total_messages,
+                  d.old_measured_imbalance);
   w.key("new");
-  write_diff_side(w, d.new_source, d.new_problem, d.new_makespan_s,
-                  d.new_path_tiles, d.new_phases, d.new_total_bytes,
-                  d.new_total_messages, d.new_measured_imbalance);
+  write_diff_side(w, d.new_source, d.new_problem, d.new_passes,
+                  d.new_makespan_s, d.new_path_tiles, d.new_phases,
+                  d.new_total_bytes, d.new_total_messages,
+                  d.new_measured_imbalance);
   w.key("delta");
   PhaseBreakdown dp;
   dp.compute = d.new_phases.compute - d.old_phases.compute;
@@ -687,7 +708,7 @@ std::string diff_json(const ReportDelta& d) {
   dp.idle = d.new_phases.idle - d.old_phases.idle;
   dp.barrier = d.new_phases.barrier - d.old_phases.barrier;
   dp.other = d.new_phases.other - d.old_phases.other;
-  write_diff_side(w, d.new_source, d.new_problem,
+  write_diff_side(w, d.new_source, d.new_problem, d.new_passes,
                   d.new_makespan_s - d.old_makespan_s,
                   d.new_path_tiles - d.old_path_tiles, dp,
                   d.new_total_bytes - d.old_total_bytes,

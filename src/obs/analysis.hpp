@@ -56,6 +56,9 @@ struct AnalysisInput {
   std::string source;   ///< "engine" | "generated" | "sim" | "trace"
   std::string problem;  ///< problem name, when known
   IntVec params;        ///< parameter values, when known
+  /// Codegen optimization passes live during the run (generated programs:
+  /// the generation-time pipeline minus anything --passes=none disabled).
+  std::vector<std::string> passes;
 };
 
 /// Seconds attributed to each phase bucket.  `other` is the uncovered
@@ -117,6 +120,8 @@ struct AnalysisReport {
   std::string problem;
   IntVec params;
   int nranks = 0;
+  /// Codegen passes live during the run (copied from the input).
+  std::vector<std::string> passes;
   /// Run start (earliest in-rank span) to last tile finish, seconds.
   double makespan_s = 0.0;
   std::uint64_t spans_dropped = 0;
@@ -177,6 +182,9 @@ struct ReportDelta {
   double old_total_bytes = 0.0, new_total_bytes = 0.0;
   double old_total_messages = 0.0, new_total_messages = 0.0;
   double old_measured_imbalance = 0.0, new_measured_imbalance = 0.0;
+  /// Codegen pass lists, comma-joined ("" when absent/none) — a diff in
+  /// which these differ compares two different emissions of the problem.
+  std::string old_passes, new_passes;
 };
 
 /// Extracts the comparable summary of two parsed dpgen.report.v1

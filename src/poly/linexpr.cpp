@@ -67,6 +67,20 @@ LinExpr operator*(const LinExpr& a, Int s) {
   return r;
 }
 
+LinExpr LinExpr::remapped(const std::vector<int>& map, int new_nvars) const {
+  DPGEN_CHECK(static_cast<int>(map.size()) == nvars(),
+              "remapped: map arity mismatch");
+  LinExpr out(new_nvars, c);
+  for (int i = 0; i < nvars(); ++i) {
+    Int a = coef(i);
+    if (a == 0) continue;
+    int j = map[static_cast<std::size_t>(i)];
+    DPGEN_CHECK(j >= 0 && j < new_nvars, "remapped: target out of range");
+    out.set_coef(j, add_ck(out.coef(j), a));
+  }
+  return out;
+}
+
 Int LinExpr::reduce_gcd() {
   Int g = 0;
   for (Int v : coeffs) g = gcd(g, v);

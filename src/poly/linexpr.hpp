@@ -87,6 +87,13 @@ struct LinExpr {
   /// Returns the divisor used (1 when already primitive or all-zero).
   Int reduce_gcd();
 
+  /// Re-expresses the form over another variable table: coefficient i
+  /// moves to variable `map[i]` (map.size() == nvars(), every entry in
+  /// [0, new_nvars)); the constant is preserved.  Used to lift
+  /// original-space expressions into the extended (params, tiles, locals)
+  /// table during code generation.
+  LinExpr remapped(const std::vector<int>& map, int new_nvars) const;
+
   /// Renders e.g. "2*s1 - f1 + 3" using names from `vars`.
   std::string to_string(const Vars& vars) const;
 

@@ -91,6 +91,16 @@ Problem coin_change(IntVec denominations, Int tile_width = 8);
 /// legal under strip tiling (t tile width 1).  Parameters are T and S.
 Problem seam_carving(Int lateral_tile_width = 16, unsigned seed = 7);
 
+/// Guarded weighted-sum trellis smoothing over (1,-1),(1,0),(1,1) with
+/// strip tiles — the vectorization-benchmark family for the codegen pass
+/// pipeline (docs/codegen.md).  Parameters are T and S.
+Problem trellis(Int lateral_tile_width = 64);
+
+/// Guarded weighted-sum accumulation over (1,0),(1,1) with genuine 2-D
+/// (square) tiles — the second vectorization-benchmark family.
+/// Parameters are T and S.
+Problem downhill(Int tile_width_t = 8, Int tile_width_s = 64);
+
 /// Deterministic pseudo-random DNA string (alphabet ACGT).
 std::string random_dna(std::size_t length, unsigned seed);
 

@@ -1,0 +1,166 @@
+// Vectorization-benchmark families: guarded weighted-sum recurrences whose
+// center loops are exactly the shape the codegen pass pipeline targets.
+//
+// Both kernels read every dependency behind its validity flag
+// (`if (is_valid_rj) ... V[loc_rj]`).  In the plain Fig. 3 emission those
+// are conditional loads the compiler must not speculate (the ghost cells
+// behind an invalid flag may be outside the tile buffer's initialised
+// region, and a load it cannot prove safe blocks if-conversion), so the
+// inner loop stays scalar.  The canonicalize pass splits the innermost
+// range so the interior's flags fold to `true`, the loads become
+// unconditional straight-line code and the loop vectorizes — these two
+// families are the ones bench/bench_codegen_kernels.cpp and the check.sh
+// perf gate measure.
+//
+//   trellis:  f(t,s) = c(t,s) + 0.3125 f(t+1,s-1) + 0.375 f(t+1,s)
+//                             + 0.28125 f(t+1,s+1)        (strip tiles)
+//   downhill: f(t,s) = c(t,s) + 0.46875 f(t+1,s) + 0.40625 f(t+1,s+1)
+//                                                        (square tiles)
+//
+// All weights are exact binary fractions and every producer (engine
+// interpreter, generated program, serial reference) accumulates them in
+// the same order, so results agree bit-for-bit across pass pipelines.
+
+#include <vector>
+
+#include "problems/problems.hpp"
+#include "support/error.hpp"
+
+namespace dpgen::problems {
+
+namespace {
+
+/// Deterministic per-cell source term, exact in binary floating point.
+/// The int64 -> int32 narrowing before the double conversion matters: GCC
+/// has no packed long long -> double conversion below AVX-512, so a direct
+/// (double)(long long) cast would block vectorization of the whole loop at
+/// baseline -O3.  The masked value fits in 3 bits, so the narrowing is
+/// value-preserving.
+double trellis_cell(Int t, Int s) {
+  return 0.25 +
+         static_cast<double>(static_cast<int>((3 * t + 5 * s) & 7)) * 0.125;
+}
+
+double downhill_cell(Int t, Int s) {
+  return 0.5 +
+         static_cast<double>(static_cast<int>((t + 2 * s) & 3)) * 0.25;
+}
+
+}  // namespace
+
+Problem trellis(Int lateral_tile_width) {
+  Problem p;
+  p.spec.name("trellis")
+      .params({"T", "S"})
+      .vars({"t", "s"})
+      .array("V")
+      .constraint("t >= 0")
+      .constraint("t <= T")
+      .constraint("s >= 0")
+      .constraint("s <= S")
+      .dep("up_left", {1, -1})
+      .dep("up", {1, 0})
+      .dep("up_right", {1, 1})
+      .load_balance({"t"})
+      // Strip tiles: the mixed lateral signs need width 1 in the
+      // pipelined t dimension (same legality argument as seam_carving).
+      .tile_widths({1, lateral_tile_width})
+      .center_code(R"(
+double dp_v = 0.25 + (double)(int)((3*t + 5*s) & 7) * 0.125;
+if (is_valid_up_left) dp_v += 0.3125 * V[loc_up_left];
+if (is_valid_up) dp_v += 0.375 * V[loc_up];
+if (is_valid_up_right) dp_v += 0.28125 * V[loc_up_right];
+V[loc] = dp_v;
+)");
+  p.spec.validate();
+
+  p.kernel = [](const engine::Cell& c) {
+    double v = trellis_cell(c.x[0], c.x[1]);
+    if (c.valid[0]) v += 0.3125 * c.V[c.loc_dep[0]];
+    if (c.valid[1]) v += 0.375 * c.V[c.loc_dep[1]];
+    if (c.valid[2]) v += 0.28125 * c.V[c.loc_dep[2]];
+    c.V[c.loc] = v;
+  };
+
+  p.objective = {0, 0};
+
+  p.reference = [](const IntVec& params) {
+    const Int T = params.at(0), S = params.at(1);
+    std::vector<std::vector<double>> f(
+        static_cast<std::size_t>(T + 1),
+        std::vector<double>(static_cast<std::size_t>(S + 1), 0.0));
+    for (Int t = T; t >= 0; --t) {
+      for (Int s = 0; s <= S; ++s) {
+        double v = trellis_cell(t, s);
+        if (t + 1 <= T && s - 1 >= 0)
+          v += 0.3125 * f[static_cast<std::size_t>(t + 1)]
+                         [static_cast<std::size_t>(s - 1)];
+        if (t + 1 <= T)
+          v += 0.375 *
+               f[static_cast<std::size_t>(t + 1)][static_cast<std::size_t>(s)];
+        if (t + 1 <= T && s + 1 <= S)
+          v += 0.28125 * f[static_cast<std::size_t>(t + 1)]
+                          [static_cast<std::size_t>(s + 1)];
+        f[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] = v;
+      }
+    }
+    return f[0][0];
+  };
+  return p;
+}
+
+Problem downhill(Int tile_width_t, Int tile_width_s) {
+  Problem p;
+  p.spec.name("downhill")
+      .params({"T", "S"})
+      .vars({"t", "s"})
+      .array("V")
+      .constraint("t >= 0")
+      .constraint("t <= T")
+      .constraint("s >= 0")
+      .constraint("s <= S")
+      .dep("down", {1, 0})
+      .dep("diag", {1, 1})
+      .load_balance({"t"})
+      // Same-sign dependencies admit genuine 2-D (square) tiles.
+      .tile_widths({tile_width_t, tile_width_s})
+      .center_code(R"(
+double dp_v = 0.5 + (double)(int)((t + 2*s) & 3) * 0.25;
+if (is_valid_down) dp_v += 0.46875 * V[loc_down];
+if (is_valid_diag) dp_v += 0.40625 * V[loc_diag];
+V[loc] = dp_v;
+)");
+  p.spec.validate();
+
+  p.kernel = [](const engine::Cell& c) {
+    double v = downhill_cell(c.x[0], c.x[1]);
+    if (c.valid[0]) v += 0.46875 * c.V[c.loc_dep[0]];
+    if (c.valid[1]) v += 0.40625 * c.V[c.loc_dep[1]];
+    c.V[c.loc] = v;
+  };
+
+  p.objective = {0, 0};
+
+  p.reference = [](const IntVec& params) {
+    const Int T = params.at(0), S = params.at(1);
+    std::vector<std::vector<double>> f(
+        static_cast<std::size_t>(T + 1),
+        std::vector<double>(static_cast<std::size_t>(S + 1), 0.0));
+    for (Int t = T; t >= 0; --t) {
+      for (Int s = 0; s <= S; ++s) {
+        double v = downhill_cell(t, s);
+        if (t + 1 <= T)
+          v += 0.46875 *
+               f[static_cast<std::size_t>(t + 1)][static_cast<std::size_t>(s)];
+        if (t + 1 <= T && s + 1 <= S)
+          v += 0.40625 * f[static_cast<std::size_t>(t + 1)]
+                          [static_cast<std::size_t>(s + 1)];
+        f[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] = v;
+      }
+    }
+    return f[0][0];
+  };
+  return p;
+}
+
+}  // namespace dpgen::problems

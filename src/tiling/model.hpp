@@ -149,6 +149,16 @@ class TilingModel {
   const IntVec& strides() const { return strides_; }
   Int buffer_size() const { return buffer_size_; }
 
+  /// Constant term of the mapping function: the buffer index of local
+  /// coordinate 0 (sum_k strides_k * ghost_lo_k).  Every loc expression is
+  /// this constant plus the stride-weighted local coordinates.
+  Int ghost_base() const {
+    Int base = 0;
+    for (std::size_t k = 0; k < strides_.size(); ++k)
+      base = add_ck(base, mul_ck(strides_[k], ghost_lo_[k]));
+    return base;
+  }
+
   /// Linear index of local coordinate i (interior: 0 <= i_k < w_k; ghost
   /// coordinates extend to [-ghost_lo_k, w_k - 1 + ghost_hi_k]).
   Int local_index(const IntVec& local) const;

@@ -2,7 +2,14 @@
 // Shared helpers for tests that compile and run generated programs with
 // the host toolchain.  The consuming CMake target must define
 // DPGEN_CXX_COMPILER, DPGEN_SRC_DIR, DPGEN_LIB_RUNTIME, DPGEN_LIB_MINIMPI,
-// DPGEN_LIB_OBS and DPGEN_LIB_SUPPORT.
+// DPGEN_LIB_OBS and DPGEN_LIB_SUPPORT.  Optionally:
+//   * DPGEN_EXTRA_CXX_FLAGS — extra flags forwarded to every generated-
+//     program compile (build flavours like the TSan pass must compile the
+//     program with the same instrumentation the libraries were built
+//     with, or the link fails);
+//   * DPGEN_TEST_OPENMP=0 — drop -fopenmp/-DDPGEN_RUNTIME_USE_OPENMP
+//     (flavours that disable OpenMP build the libraries without it, and
+//     the generated program must match).
 
 #include <gtest/gtest.h>
 
@@ -12,6 +19,13 @@
 
 #include "support/str.hpp"
 #include "support/vec.hpp"
+
+#ifndef DPGEN_EXTRA_CXX_FLAGS
+#define DPGEN_EXTRA_CXX_FLAGS ""
+#endif
+#ifndef DPGEN_TEST_OPENMP
+#define DPGEN_TEST_OPENMP 1
+#endif
 
 namespace dpgen::codegen_test {
 
@@ -46,16 +60,20 @@ struct CompiledProgram {
 };
 
 /// Compiles a generated source warning-clean (-Wall -Wextra -Werror) with
-/// OpenMP enabled and the runtime libraries linked in.
+/// OpenMP enabled (unless DPGEN_TEST_OPENMP=0) and the runtime libraries
+/// linked in.  `opt_flags` replaces the default -O1 (vectorization tests
+/// need -O3).
 inline CompiledProgram compile_program(const std::string& src_path,
-                                       const std::string& tag) {
+                                       const std::string& tag,
+                                       const std::string& opt_flags = "-O1") {
   CompiledProgram out;
   out.binary = testing::TempDir() + "/dpgen_e2e_" + tag;
   std::string cmd = cat(
-      DPGEN_CXX_COMPILER, " -std=c++20 -O1 -fopenmp -Wall -Wextra -Werror ",
-      "-DDPGEN_RUNTIME_USE_OPENMP -I", DPGEN_SRC_DIR, " ", src_path, " ",
-      DPGEN_LIB_RUNTIME, " ", DPGEN_LIB_MINIMPI, " ", DPGEN_LIB_OBS, " ",
-      DPGEN_LIB_SUPPORT, " -lpthread -o ", out.binary);
+      DPGEN_CXX_COMPILER, " -std=c++20 ", opt_flags, " ",
+      DPGEN_TEST_OPENMP ? "-fopenmp -DDPGEN_RUNTIME_USE_OPENMP " : "",
+      DPGEN_EXTRA_CXX_FLAGS, " -Wall -Wextra -Werror ", "-I", DPGEN_SRC_DIR,
+      " ", src_path, " ", DPGEN_LIB_RUNTIME, " ", DPGEN_LIB_MINIMPI, " ",
+      DPGEN_LIB_OBS, " ", DPGEN_LIB_SUPPORT, " -lpthread -o ", out.binary);
   auto [status, log] = run_command(cmd);
   out.ok = (status == 0);
   out.log = log;

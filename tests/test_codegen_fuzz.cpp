@@ -1,10 +1,15 @@
 // Codegen fuzzing: randomly generated specs pushed through the full
 // generate -> compile (-Werror) -> run pipeline and compared against the
-// independent serial reference at every recorded location.  A small number
-// of seeds (compiles are expensive); the wide behavioural sweep lives in
-// test_fuzz.cpp.
+// independent serial reference at every recorded location — once with the
+// default (pass-free) emission and once with a seed-chosen optimization
+// pass subset, whose probe lines must be byte-identical to the baseline's.
+// A small number of seeds (compiles are expensive); the wide behavioural
+// sweep lives in test_fuzz.cpp.
 
 #include <gtest/gtest.h>
+
+#include <iterator>
+#include <sstream>
 
 #include "codegen/generator.hpp"
 #include "codegen_util.hpp"
@@ -17,6 +22,16 @@ namespace {
 using codegen_test::compile_program;
 using codegen_test::parse_result;
 using codegen_test::run_command;
+
+/// The deterministic probe lines of a run, for exact comparison.
+std::string result_lines(const std::string& out) {
+  std::istringstream ss(out);
+  std::string line, acc;
+  while (std::getline(ss, line))
+    if (line.rfind("RESULT ", 0) == 0 || line.rfind("MAX ", 0) == 0)
+      acc += line + "\n";
+  return acc;
+}
 
 class CodegenFuzz : public ::testing::TestWithParam<int> {};
 
@@ -53,6 +68,27 @@ TEST_P(CodegenFuzz, GeneratedProgramMatchesSerialReference) {
   for (const auto& probe : opt.probes)
     EXPECT_DOUBLE_EQ(parse_result(out, probe), serial.values.at(probe))
         << vec_to_string(probe) << "\n" << out;
+
+  // The same spec through a randomly chosen pass subset: the probe lines
+  // must reproduce the pass-free program's bytes exactly, on the random
+  // geometry the fuzzer produced (not just the hand-built families).
+  static const char* kSubsets[] = {
+      "canonicalize",        "unroll:2",          "layout",
+      "canonicalize,layout", "canonicalize,unroll:5", "full"};
+  GenOptions popt = opt;
+  popt.passes = PassPipeline::parse(
+      kSubsets[rng.range(0, static_cast<Int>(std::size(kSubsets)) - 1)]);
+  SCOPED_TRACE(cat("passes=", popt.passes.to_string()));
+  std::string pass_src = testing::TempDir() + "/dpgen_fuzz_" +
+                         std::to_string(GetParam()) + "_passes.cpp";
+  write_program(model, pass_src, popt);
+  auto pass_prog = compile_program(
+      pass_src, cat("fuzz", GetParam(), "_passes"));
+  ASSERT_TRUE(pass_prog.ok) << pass_prog.log;
+  auto [pstatus, pout] =
+      run_command(cat(pass_prog.binary, " ", N, " --ranks=2 --threads=2"));
+  ASSERT_EQ(pstatus, 0) << pout;
+  EXPECT_EQ(result_lines(pout), result_lines(out));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodegenFuzz, ::testing::Values(101, 202, 303));
