@@ -68,6 +68,39 @@ build/tools/dpgen-analyze --events=build/monitor-smoke/skew.jsonl \
   --schema=tools/events_schema.json > /dev/null
 echo "live-monitor smoke passed"
 
+echo "==== chaos smoke (fault injection + checkpoint restart)"
+# A seeded mid-run rank kill through dpgen-top: the run must recover via a
+# checkpoint restart (exactly one failure/restart pair in the summary), the
+# flushed checkpoint must validate against tools/checkpoint_schema.json,
+# and the event log — now containing rank_failed + restart events — must
+# still validate against the events schema.
+rm -rf build/chaos-smoke && mkdir -p build/chaos-smoke
+build/tools/dpgen-top --problem=lcs --params=96,96 --ranks=2 --threads=2 \
+  --interval=0.005 --faults=kill:1@12 \
+  --checkpoint=build/chaos-smoke/kill.ckpt.json \
+  --events=build/chaos-smoke/kill.jsonl --check \
+  | tee build/chaos-smoke/kill.summary
+awk '{ for (i = 1; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] } }
+     END { exit !(v["rank_failures"] == 1 && v["restarts"] == 1) }' \
+  build/chaos-smoke/kill.summary
+build/tools/dpgen-analyze --validate=build/chaos-smoke/kill.ckpt.json \
+  --schema=tools/checkpoint_schema.json
+build/tools/dpgen-analyze --events=build/chaos-smoke/kill.jsonl \
+  --schema=tools/events_schema.json > /dev/null
+# A slowed rank is chaos the run must absorb WITHOUT recovery machinery:
+# no failures, no restarts, no straggler mistaken for a stall.
+build/tools/dpgen-top --problem=lcs --params=96,96 --ranks=2 --threads=2 \
+  --interval=0.005 --faults=slow:1@3 \
+  --events=build/chaos-smoke/slow.jsonl --check \
+  | tee build/chaos-smoke/slow.summary
+awk '{ for (i = 1; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] } }
+     END { exit !(v["rank_failures"] == 0 && v["restarts"] == 0 \
+                  && v["heartbeats"] >= 1) }' \
+  build/chaos-smoke/slow.summary
+build/tools/dpgen-analyze --events=build/chaos-smoke/slow.jsonl \
+  --schema=tools/events_schema.json > /dev/null
+echo "chaos smoke passed"
+
 echo "==== vectorization smoke (codegen pass pipeline)"
 # The canonicalize pass exists to make the innermost loop vectorizable at
 # the baseline ISA: the interior segment's guarded loads fold to
@@ -147,10 +180,16 @@ if [[ "${1:-}" != "--quick" ]]; then
   # generated programs with the flavour's flags (std::thread workers,
   # TSan-instrumented) and run them 2-rank/2-thread, so the generated
   # driver loop itself gets a race check.
+  # test_faults rides along: the chaos suite replays seeded kill/drop/
+  # dup/delay/slow plans with every rank fully instrumented, so the
+  # restart path (transport poisoning, checkpoint seeding, re-balance)
+  # gets a race check too.  The 100-iteration soak target is excluded —
+  # the 12-iteration in-suite soak already covers it at TSan speed.
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
-    test_engine test_hotpath test_monitor test_codegen_passes
+    test_engine test_hotpath test_monitor test_codegen_passes test_faults
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses'
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses|Fault|Chaos|Checkpoint|TableState' \
+    -E 'ChaosSoak.Replay100'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
   cmake -B build-notrace -G Ninja -DDPGEN_TRACE=OFF
@@ -179,7 +218,7 @@ if [[ "${1:-}" != "--quick" ]]; then
   # throughput on at least two families (checked below from the same run).
   gate_filter="fm,initial_tiles,loadbalance/balancer,analysis,suite/lcs2"
   gate_filter="$gate_filter,hotpath/grid_w2,hotpath/table_deliver_pop"
-  gate_filter="$gate_filter,codegen/"
+  gate_filter="$gate_filter,codegen/,faults/"
   build-release/tools/dpgen-bench --filter="$gate_filter" --trials=5 \
     --json="bench-archive/run-latest.json" --archive --gate
   build-release/tools/dpgen-bench \
@@ -203,6 +242,25 @@ print("codegen pass-pipeline speedup:",
 if len(ok) < 2:
     sys.exit("codegen perf gate: >= 1.3x on %d/%d families (need 2)"
              % (len(ok), len(ratios)))
+EOF
+  # Checkpoint clean-path overhead gate (docs/fault-tolerance.md): logging
+  # every tile completion must cost < 3% of tile throughput on the
+  # production-shaped workload, from the same archived run.  An absolute
+  # contract like the codegen gate, not a baseline comparison.
+  python3 - bench-archive/run-latest.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rate = {b["name"]: b["metrics"]["cells_per_sec"] for b in doc["benches"]
+        if b["name"].startswith("faults/")}
+clean, ckpt = rate.get("faults/clean"), rate.get("faults/checkpointed")
+if not clean or not ckpt:
+    sys.exit("faults overhead gate: missing faults/clean or "
+             "faults/checkpointed in the archived run")
+overhead = 100.0 * (1.0 - ckpt / clean)
+print("checkpoint clean-path overhead: %.2f%% (budget < 3%%)" % overhead)
+if ckpt < 0.97 * clean:
+    sys.exit("faults overhead gate: checkpointing costs %.2f%% of clean "
+             "throughput (budget 3%%)" % overhead)
 EOF
   # The checked-in smoke baseline gates too (skips with a warning on a
   # different machine fingerprint).

@@ -205,13 +205,6 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     tracer.set_enabled(true);
   }
 
-  std::optional<tiling::LoadBalancer> balancer_storage;
-  {
-    obs::ScopedSpan span(obs::Phase::kLoadBalance);
-    balancer_storage.emplace(model, params, options.ranks, options.balance);
-  }
-  tiling::LoadBalancer& balancer = *balancer_storage;
-
   Recorder recorder;
   recorder.record_all = options.record_all;
   recorder.probes = options.probes;
@@ -233,34 +226,124 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
   ropt.poison_buffers = options.poison_buffers;
   ropt.stall_timeout_seconds = options.stall_timeout_seconds;
 
-  // Live telemetry: a wall-clock sampler publishes per-rank heartbeats and
-  // runs the straggler detector while the ranks execute ("-" = in-process
-  // monitoring only, no event log).
-  std::optional<obs::Monitor> monitor;
-  if (!options.monitor_path.empty()) {
-    obs::MonitorOptions mopt;
-    mopt.nranks = options.ranks;
-    mopt.interval_s = options.monitor_interval;
-    if (options.monitor_path != "-") mopt.events_path = options.monitor_path;
-    for (int r = 0; r < options.ranks; ++r)
-      mopt.predicted_work.push_back(
-          static_cast<double>(balancer.owned_work(r)));
-    mopt.source = "engine";
-    mopt.problem = model.problem().problem_name();
-    monitor.emplace(std::move(mopt));
-    ropt.monitor = &*monitor;
+  // Fault tolerance: tile completions feed a checkpoint store (producer-
+  // side edge log; see runtime/checkpoint.hpp), and a TransportFailure —
+  // injected kill, declared drop-stall, or a real worker exception —
+  // restarts the run over the surviving ranks instead of propagating.
+  // Because every DP here is confluent (cell values are schedule-
+  // independent) and edge delivery is idempotent under the tile table's
+  // duplicate guard, re-executing the non-checkpointed frontier converges
+  // to byte-identical results.
+  const bool fault_tolerant =
+      options.fault_tolerant || options.fault_plan.has_value();
+  runtime::CheckpointStore<double> store;
+  if (fault_tolerant) {
+    store.set_meta(model.problem().problem_name(), vec_to_string(params),
+                   model.dim());
+    if (!options.resume_checkpoint_path.empty())
+      store.restore_from(
+          runtime::load_checkpoint_json(options.resume_checkpoint_path));
+    if (!options.checkpoint_json_path.empty())
+      store.configure_flush(options.checkpoint_json_path,
+                            options.checkpoint_every_tiles);
+    ropt.recover_stall_seconds = options.recover_stall_seconds;
+    // Faulty wires can duplicate; replayed restarts can re-send.  Either
+    // way re-delivered edges must be dropped even after their tile went
+    // ready, so arm the table guard for every attempt of this run.
+    ropt.replay_guard = true;
   }
 
-  minimpi::World world(options.ranks, options.mailbox_capacity);
-  std::vector<runtime::RunStats> rank_stats(
-      static_cast<std::size_t>(options.ranks));
-  world.run([&](minimpi::Comm& comm) {
-    ModelHooks hooks(model, params, balancer, center, recorder,
-                     options.edge_store, options.on_tile_executed,
-                     options.decision_log);
-    rank_stats[static_cast<std::size_t>(comm.rank())] =
-        runtime::run_node<double>(hooks, comm, ropt);
-  });
+  int alive = options.ranks;
+  int restarts = 0;
+  std::vector<int> failed_ranks;
+  minimpi::FaultStats fault_stats;
+
+  std::optional<tiling::LoadBalancer> balancer_storage;
+  std::optional<obs::Monitor> monitor;
+  std::optional<minimpi::World> world;
+  std::vector<runtime::RunStats> rank_stats;
+
+  for (;;) {
+    // Ownership is re-planned for the surviving fleet each attempt: the
+    // Ehrhart balancer runs over `alive` ranks, so a killed rank's tiles
+    // are re-distributed proportionally instead of piling onto one peer.
+    {
+      obs::ScopedSpan span(obs::Phase::kLoadBalance);
+      balancer_storage.emplace(model, params, alive, options.balance);
+    }
+    tiling::LoadBalancer& balancer = *balancer_storage;
+
+    // Live telemetry: a wall-clock sampler publishes per-rank heartbeats
+    // and runs the straggler detector while the ranks execute ("-" =
+    // in-process monitoring only, no event log).  Restart attempts append
+    // to the same event log for one continuous history.
+    monitor.reset();
+    ropt.monitor = nullptr;
+    if (!options.monitor_path.empty()) {
+      obs::MonitorOptions mopt;
+      mopt.nranks = alive;
+      mopt.interval_s = options.monitor_interval;
+      if (options.monitor_path != "-") mopt.events_path = options.monitor_path;
+      mopt.append = restarts > 0;
+      for (int r = 0; r < alive; ++r)
+        mopt.predicted_work.push_back(
+            static_cast<double>(balancer.owned_work(r)));
+      mopt.source = "engine";
+      mopt.problem = model.problem().problem_name();
+      monitor.emplace(std::move(mopt));
+      ropt.monitor = &*monitor;
+    }
+
+    // Faults are injected only on the first attempt: the plan describes
+    // one concrete failure scenario, and recovery must not re-trip it.
+    auto base = std::make_shared<minimpi::InProcessTransport>(
+        alive, options.mailbox_capacity);
+    std::shared_ptr<minimpi::FaultInjector> injector;
+    std::shared_ptr<minimpi::Transport> transport = base;
+    if (options.fault_plan && restarts == 0) {
+      injector =
+          std::make_shared<minimpi::FaultInjector>(base, *options.fault_plan);
+      transport = injector;
+    }
+
+    world.emplace(alive, options.mailbox_capacity, transport);
+    rank_stats.assign(static_cast<std::size_t>(alive), {});
+    try {
+      world->run([&](minimpi::Comm& comm) {
+        ModelHooks hooks(model, params, balancer, center, recorder,
+                         options.edge_store, options.on_tile_executed,
+                         options.decision_log);
+        rank_stats[static_cast<std::size_t>(comm.rank())] =
+            runtime::run_node<double>(hooks, comm, ropt,
+                                      fault_tolerant ? &store : nullptr);
+      });
+      if (injector) fault_stats = injector->stats();
+      break;
+    } catch (const minimpi::TransportFailure& e) {
+      if (!fault_tolerant) throw;
+      if (injector) fault_stats = injector->stats();
+      const std::vector<int> dead = transport->dead_ranks();
+      ++restarts;
+      DPGEN_CHECK(restarts <= options.max_restarts,
+                  cat("fault tolerance exhausted after ", restarts - 1,
+                      " restarts: ", e.what()));
+      const int next_alive =
+          std::max(1, alive - static_cast<int>(dead.size()));
+      if (monitor) {
+        for (int r : dead) monitor->rank_failed(r, e.what());
+        monitor->restart_event(restarts, next_alive);
+        monitor->stop();
+      }
+      for (int r : dead) failed_ranks.push_back(r);
+      alive = next_alive;
+      // Credited tiles may now re-execute (crash-before-record frontier),
+      // so the next attempt's drivers must screen deliveries against the
+      // executed set — see CheckpointStore::replay_possible.
+      store.enter_replay();
+      store.flush();
+    }
+  }
+  if (fault_tolerant) store.flush();
 
   std::vector<obs::StragglerFlag> stragglers;
   if (monitor) {
@@ -279,15 +362,17 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     if (!options.trace_json_path.empty())
       obs::write_chrome_trace(options.trace_json_path, spans, dropped);
     if (!options.report_json_path.empty()) {
+      // The report covers the attempt that finished: the last balancer,
+      // world and rank count (smaller than options.ranks after a kill).
       obs::AnalysisInput in;
       in.spans = std::move(spans);
-      in.nranks = options.ranks;
+      in.nranks = alive;
       for (const auto& e : model.edges()) in.edge_offsets.push_back(e.offset);
-      for (int r = 0; r < options.ranks; ++r)
+      for (int r = 0; r < alive; ++r)
         in.predicted_work.push_back(
-            static_cast<double>(balancer.owned_work(r)));
-      in.bytes_matrix = world.bytes_matrix();
-      in.messages_matrix = world.messages_matrix();
+            static_cast<double>(balancer_storage->owned_work(r)));
+      in.bytes_matrix = world->bytes_matrix();
+      in.messages_matrix = world->messages_matrix();
       in.spans_dropped = dropped;
       in.source = "engine";
       in.problem = model.problem().problem_name();
@@ -308,6 +393,9 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
   result.max_value = recorder.max_value;
   result.max_point = std::move(recorder.max_point);
   result.stragglers = std::move(stragglers);
+  result.restarts = restarts;
+  result.failed_ranks = std::move(failed_ranks);
+  result.fault_stats = fault_stats;
   return result;
 }
 

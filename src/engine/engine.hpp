@@ -13,6 +13,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "minimpi/faults.hpp"
 #include "obs/analysis.hpp"
 #include "runtime/driver.hpp"
 #include "tiling/balance.hpp"
@@ -101,6 +102,35 @@ struct EngineOptions {
   std::string monitor_path;
   /// Sampling / straggler-detector period in seconds.
   double monitor_interval = 0.05;
+  /// Deterministic fault injection: when set, the first attempt's transport
+  /// is wrapped in a minimpi::FaultInjector replaying this plan (restarts
+  /// run fault-free, so a killed rank cannot be killed again forever).
+  /// Implies fault_tolerant.
+  std::optional<minimpi::FaultPlan> fault_plan;
+  /// Enable checkpoint/restart recovery: every tile completion is logged
+  /// to an in-memory CheckpointStore, and a TransportFailure restarts the
+  /// run over the surviving ranks — ownership re-assigned by re-running
+  /// the Ehrhart LoadBalancer — instead of propagating.  Already-executed
+  /// tiles are credited from the checkpoint, their outbound edges
+  /// re-delivered from the edge log (see runtime/checkpoint.hpp).
+  bool fault_tolerant = false;
+  /// Restart attempts allowed before the failure propagates after all.
+  int max_restarts = 4;
+  /// Fault-tolerant runs only: a rank that makes no progress for this many
+  /// seconds declares a transport failure and triggers a checkpoint
+  /// restart (recovers dropped messages).  0 = never.  Keep this well
+  /// under stall_timeout_seconds, which still aborts the whole run.
+  double recover_stall_seconds = 0.0;
+  /// When non-empty, the checkpoint store is flushed here as
+  /// dpgen.checkpoint.v1 JSON (tools/checkpoint_schema.json) every
+  /// checkpoint_every_tiles tile completions, at every restart, and once
+  /// more after the run succeeds.
+  std::string checkpoint_json_path;
+  long long checkpoint_every_tiles = 64;
+  /// When non-empty, seed the checkpoint store from this
+  /// dpgen.checkpoint.v1 file before running — resume an earlier run of
+  /// the same problem/params.
+  std::string resume_checkpoint_path;
 };
 
 struct EngineResult {
@@ -118,6 +148,12 @@ struct EngineResult {
   /// Filled when EngineOptions::monitor_path is set: ranks the online
   /// detector flagged as stragglers (empty on a balanced run).
   std::vector<obs::StragglerFlag> stragglers;
+  /// Fault-tolerance outcome: restart attempts actually taken, the ranks
+  /// that died (in failure order), and the injector's tally when a fault
+  /// plan was supplied.  All zero/empty on a clean run.
+  int restarts = 0;
+  std::vector<int> failed_ranks;
+  minimpi::FaultStats fault_stats;
 
   /// Value at a recorded location; throws when it was not recorded.
   double at(const IntVec& point) const;

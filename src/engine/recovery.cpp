@@ -22,7 +22,27 @@ bool Recovery::contains(const IntVec& point) const {
   return model_.problem().space().contains(orig);
 }
 
+#ifndef NDEBUG
+namespace {
+/// Clears the reentrancy flag on every exit path out of value_at,
+/// including the DPGEN_CHECK throws below.
+struct ReentrancyGuard {
+  explicit ReentrancyGuard(std::atomic<bool>& flag) : flag_(flag) {
+    DPGEN_CHECK(!flag_.exchange(true, std::memory_order_acquire),
+                "Recovery::value_at entered concurrently: it mutates the "
+                "tile cache without a lock (documented not thread-safe); "
+                "serialize calls or give each thread its own Recovery");
+  }
+  ~ReentrancyGuard() { flag_.store(false, std::memory_order_release); }
+  std::atomic<bool>& flag_;
+};
+}  // namespace
+#endif
+
 double Recovery::value_at(const IntVec& point) {
+#ifndef NDEBUG
+  ReentrancyGuard reentrancy_guard(in_value_at_);
+#endif
   DPGEN_CHECK(contains(point),
               cat("point ", vec_to_string(point),
                   " is outside the iteration space"));

@@ -15,6 +15,8 @@
 // the objective to the base cases touches a chain of neighbouring tiles,
 // so each tile is recomputed at most once.
 
+#include <atomic>
+
 #include "engine/engine.hpp"
 
 namespace dpgen::engine {
@@ -27,7 +29,9 @@ class Recovery {
            CenterFn center, EngineOptions options = {});
 
   /// Value of any location in the iteration space.  Recomputes (and
-  /// caches) the containing tile on first touch.  Not thread-safe.
+  /// caches) the containing tile on first touch.  Not thread-safe: the
+  /// tile cache is unlocked, so concurrent calls would corrupt it
+  /// silently.  Debug builds trip a reentrancy guard (throws) instead.
   double value_at(const IntVec& point);
 
   /// True when the point lies inside the iteration space.
@@ -45,6 +49,9 @@ class Recovery {
   EdgeStore store_;
   std::unordered_map<IntVec, std::vector<double>, IntVecHash> cache_;
   long long recomputed_ = 0;
+#ifndef NDEBUG
+  std::atomic<bool> in_value_at_{false};  ///< reentrancy tripwire, see .cpp
+#endif
 };
 
 }  // namespace dpgen::engine

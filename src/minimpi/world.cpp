@@ -38,9 +38,22 @@ obs::Histogram& message_bytes_histogram() {
 
 }  // namespace
 
-World::World(int nranks, std::size_t mailbox_capacity)
-    : capacity_(mailbox_capacity) {
+World::World(int nranks, std::size_t mailbox_capacity,
+             std::shared_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
   DPGEN_CHECK(nranks >= 1, "world needs at least one rank");
+  if (!transport_)
+    transport_ =
+        std::make_shared<InProcessTransport>(nranks, mailbox_capacity);
+  DPGEN_CHECK(transport_->nranks() == nranks,
+              cat("world of ", nranks, " ranks over a transport of ",
+                  transport_->nranks()));
+  // When the transport is poisoned, ranks parked in a collective must wake
+  // up and throw too — the wait predicates re-check transport_->failed().
+  transport_->add_failure_listener([this] {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  });
   // Registry instruments are process-wide (shared by every source rank),
   // so resolve each destination's handle once and hand it to all Comms.
   std::vector<obs::Counter*> peer_messages, peer_bytes;
@@ -60,7 +73,6 @@ World::World(int nranks, std::size_t mailbox_capacity)
       peer.messages_counter = peer_messages[static_cast<std::size_t>(dst)];
       peer.bytes_counter = peer_bytes[static_cast<std::size_t>(dst)];
     }
-    mailboxes_.push_back(std::make_unique<Mailbox>());
   }
 }
 
@@ -81,6 +93,8 @@ std::vector<std::vector<std::uint64_t>> World::messages_matrix() const {
 }
 
 int Comm::size() const { return world_->size(); }
+
+Transport& Comm::transport() { return *world_->transport_; }
 
 void Comm::count_send(int dst, std::size_t bytes) {
   ++messages_sent_;
@@ -106,18 +120,15 @@ void Comm::send_impl(int dst, int tag, std::vector<std::uint8_t>&& payload) {
   m.source = rank_;
   m.tag = tag;
   m.payload = std::move(payload);
-
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+  Transport& t = transport();
+  if (t.try_post(rank_, dst, m) == PostResult::kFull) {
     count_blocked();
     obs::ScopedSpan span(obs::Phase::kBlockedSend);
-    box.not_full.wait(
-        lock, [&] { return box.queue.size() < world_->capacity_; });
+    do {
+      t.wait_capacity(rank_, dst);
+    } while (t.try_post(rank_, dst, m) == PostResult::kFull);
   }
-  box.queue.push_back(std::move(m));
   count_send(dst, bytes);
-  box.not_empty.notify_one();
 }
 
 void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
@@ -133,86 +144,58 @@ void Comm::send(int dst, int tag, std::vector<std::uint8_t>&& payload) {
 
 bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
+  Transport& t = transport();
+  // The payload is copied only after the capacity hint passes, so a
+  // polling retry loop does not pay for copies that would be thrown away.
+  if (t.would_block(dst)) {
+    t.check_alive();
     count_blocked();
     return false;
   }
-  // The payload is copied only after the capacity check passes, so a
-  // polling retry loop does not pay for copies that would be thrown away.
   Message m;
   m.source = rank_;
   m.tag = tag;
   const auto* p = static_cast<const std::uint8_t*>(data);
   m.payload.assign(p, p + bytes);
-  box.queue.push_back(std::move(m));
+  if (t.try_post(rank_, dst, m) == PostResult::kFull) {
+    count_blocked();
+    return false;
+  }
   count_send(dst, bytes);
-  box.not_empty.notify_one();
   return true;
 }
 
 bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload) {
   DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(dst)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (world_->capacity_ > 0 && box.queue.size() >= world_->capacity_) {
-    count_blocked();
-    return false;
-  }
+  Transport& t = transport();
   const std::size_t bytes = payload.size();
   Message m;
   m.source = rank_;
   m.tag = tag;
   m.payload = std::move(payload);
-  box.queue.push_back(std::move(m));
+  if (t.try_post(rank_, dst, m) == PostResult::kFull) {
+    payload = std::move(m.payload);  // untouched for the caller's retry
+    count_blocked();
+    return false;
+  }
   count_send(dst, bytes);
-  box.not_empty.notify_one();
   return true;
 }
 
 bool Comm::iprobe(int* src, int* tag) {
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (box.queue.empty()) return false;
-  if (src) *src = box.queue.front().source;
-  if (tag) *tag = box.queue.front().tag;
-  return true;
+  return transport().probe(rank_, src, tag);
 }
 
-std::optional<Message> Comm::try_recv() {
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  if (box.queue.empty()) return std::nullopt;
-  Message m = std::move(box.queue.front());
-  box.queue.pop_front();
-  box.not_full.notify_one();
-  return m;
-}
+std::optional<Message> Comm::try_recv() { return transport().collect(rank_); }
 
-Message Comm::recv() {
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  box.not_empty.wait(lock, [&] { return !box.queue.empty(); });
-  Message m = std::move(box.queue.front());
-  box.queue.pop_front();
-  box.not_full.notify_one();
-  return m;
-}
+Message Comm::recv() { return transport().collect_blocking(rank_); }
 
 std::optional<Message> Comm::try_recv_match(int source, int tag) {
-  auto& box = *world_->mailboxes_[static_cast<std::size_t>(rank_)];
-  std::lock_guard<std::mutex> lock(box.mu);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if ((source >= 0 && it->source != source) ||
-        (tag >= 0 && it->tag != tag))
-      continue;
-    Message m = std::move(*it);
-    box.queue.erase(it);
-    box.not_full.notify_one();
-    return m;
-  }
-  return std::nullopt;
+  return transport().collect_match(rank_, source, tag);
+}
+
+void Comm::declare_failure(const std::string& reason) {
+  transport().fail(cat("rank ", rank_, ": ", reason));
 }
 
 Request Comm::isend(int dst, int tag, const void* data, std::size_t bytes) {
@@ -268,6 +251,8 @@ const Message& Request::message() const {
 
 void Comm::barrier() {
   obs::ScopedSpan span(obs::Phase::kBarrier);
+  Transport& t = transport();
+  t.check_alive();
   std::unique_lock<std::mutex> lock(world_->barrier_mu_);
   std::uint64_t gen = world_->barrier_generation_;
   if (++world_->barrier_arrived_ == size()) {
@@ -276,8 +261,13 @@ void Comm::barrier() {
     world_->barrier_cv_.notify_all();
     return;
   }
-  world_->barrier_cv_.wait(
-      lock, [&] { return world_->barrier_generation_ != gen; });
+  world_->barrier_cv_.wait(lock, [&] {
+    return world_->barrier_generation_ != gen || t.failed();
+  });
+  if (world_->barrier_generation_ == gen) {
+    --world_->barrier_arrived_;  // barrier abandoned; keep state consistent
+    t.check_alive();
+  }
 }
 
 Int Comm::allreduce_sum(Int value) {
@@ -364,8 +354,22 @@ void World::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  // When one rank hits a genuine error it poisons the transport, so its
+  // peers all unwind with secondary TransportFailures.  Rethrow the root
+  // cause, not whichever secondary happens to sit at a lower rank —
+  // otherwise a fault-tolerant caller would "recover" from a plain bug.
+  std::exception_ptr transport_error;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const TransportFailure&) {
+      if (!transport_error) transport_error = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (transport_error) std::rethrow_exception(transport_error);
 }
 
 }  // namespace dpgen::minimpi

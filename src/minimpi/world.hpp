@@ -10,6 +10,13 @@
 // buffers); receives are by polling (iprobe/try_recv) or blocking (recv).
 // Collectives (barrier, allreduce) follow MPI semantics.
 //
+// The byte-moving substrate itself lives behind the Transport interface
+// (transport.hpp): World/Comm implement the MPI-shaped semantics on top
+// of whatever Transport they are constructed with — the in-process
+// mailboxes by default, or a fault-injecting decorator (faults.hpp) for
+// chaos testing.  When the transport fails, every blocked collective and
+// receive wakes up and throws TransportFailure.
+//
 // Everything the runtime does with this interface maps 1:1 onto real MPI
 // calls (MPI_Send/MPI_Iprobe/MPI_Recv/MPI_Barrier/MPI_Allreduce), so
 // generated code can be retargeted by swapping this header's backend.
@@ -17,13 +24,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "minimpi/transport.hpp"
 #include "support/checked.hpp"
 
 namespace dpgen::obs {
@@ -31,13 +39,6 @@ class Counter;
 }
 
 namespace dpgen::minimpi {
-
-/// One delivered message: source rank, user tag and a byte payload.
-struct Message {
-  int source = -1;
-  int tag = 0;
-  std::vector<std::uint8_t> payload;
-};
 
 class World;
 
@@ -131,7 +132,8 @@ class Comm {
   /// Pops the oldest message matching source/tag (-1 = any), if present.
   std::optional<Message> try_recv_match(int source, int tag);
 
-  /// Blocks until every rank has entered the barrier.
+  /// Blocks until every rank has entered the barrier — or the transport
+  /// fails, in which case TransportFailure is thrown.
   void barrier();
 
   /// Sum-reduction over all ranks; every rank receives the total.
@@ -149,6 +151,13 @@ class Comm {
   /// (each rank contributes `bytes` bytes); non-root out stays untouched.
   void gather(int root, const void* send, std::size_t bytes,
               std::vector<std::uint8_t>* out);
+
+  /// Poisons the transport stack: every rank's next transport operation
+  /// (including this rank's) throws TransportFailure.  The driver's
+  /// recovery path uses this when a rank concludes messages were lost —
+  /// stalled with dependencies that will never arrive — so the engine can
+  /// unwind all ranks and restart from the checkpoint.
+  void declare_failure(const std::string& reason);
 
   // ---- statistics (atomic: several worker threads share one Comm) ---------
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -180,13 +189,14 @@ class Comm {
     obs::Counter* bytes_counter = nullptr;
   };
 
-  /// Send accounting shared by every send path (atomics only: called with
-  /// the destination mailbox lock held).
+  /// Send accounting shared by every send path (atomics only).
   void count_send(int dst, std::size_t bytes);
   /// Accounting for a send that found the destination mailbox full.
   void count_blocked();
   /// Shared body of the move-in blocking sends.
   void send_impl(int dst, int tag, std::vector<std::uint8_t>&& payload);
+
+  Transport& transport();
 
   World* world_ = nullptr;
   int rank_ = -1;
@@ -201,13 +211,19 @@ class World {
  public:
   /// mailbox_capacity bounds the per-rank receive queue (0 = unbounded),
   /// modelling the paper's configurable send/receive buffer counts.
-  explicit World(int nranks, std::size_t mailbox_capacity = 0);
+  /// When `transport` is null an InProcessTransport is created; passing
+  /// one explicitly (e.g. a FaultInjector stack) must agree on nranks.
+  explicit World(int nranks, std::size_t mailbox_capacity = 0,
+                 std::shared_ptr<Transport> transport = nullptr);
 
   int size() const { return static_cast<int>(comms_.size()); }
   Comm& comm(int rank) { return *comms_[static_cast<std::size_t>(rank)]; }
   const Comm& comm(int rank) const {
     return *comms_[static_cast<std::size_t>(rank)];
   }
+
+  /// The wire this world runs on.
+  Transport& transport() { return *transport_; }
 
   /// rank x rank send totals, [source][destination] — the communication
   /// matrix the performance report renders (obs/analysis.hpp).
@@ -221,16 +237,8 @@ class World {
  private:
   friend class Comm;
 
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::deque<Message> queue;
-  };
-
-  std::size_t capacity_;
+  std::shared_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Comm>> comms_;  // Comm holds atomics: pinned
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   // Barrier state.
   std::mutex barrier_mu_;
@@ -245,9 +253,13 @@ class World {
   Int accum_int_ = 0, result_int_ = 0;
   double accum_dbl_ = 0.0, result_dbl_ = 0.0;
 
-  /// One sum/max round shared by the allreduce overloads.
+  /// One sum/max round shared by the allreduce overloads.  Failure-aware:
+  /// a poisoned transport wakes the waiters (via the listener registered
+  /// in the constructor) and they throw instead of waiting forever for
+  /// ranks that will never arrive.
   template <typename T>
   T allreduce_round(T value, bool take_max, T& accum, T& result) {
+    transport_->check_alive();
     std::unique_lock<std::mutex> lock(barrier_mu_);
     std::uint64_t gen = reduce_generation_;
     if (reduce_arrived_ == 0) accum = value;
@@ -262,7 +274,13 @@ class World {
       barrier_cv_.notify_all();
       return result;
     }
-    barrier_cv_.wait(lock, [&] { return reduce_generation_ != gen; });
+    barrier_cv_.wait(lock, [&] {
+      return reduce_generation_ != gen || transport_->failed();
+    });
+    if (reduce_generation_ == gen) {
+      --reduce_arrived_;  // round abandoned; leave state consistent
+      transport_->check_alive();
+    }
     return result;
   }
 };

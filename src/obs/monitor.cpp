@@ -49,7 +49,9 @@ Monitor::Monitor(MonitorOptions opt) : opt_(std::move(opt)) {
   det_.resize(static_cast<std::size_t>(opt_.nranks));
 
   if (!opt_.events_path.empty()) {
-    events_.open(opt_.events_path, std::ios::out | std::ios::trunc);
+    events_.open(opt_.events_path,
+                 opt_.append ? (std::ios::out | std::ios::app)
+                             : (std::ios::out | std::ios::trunc));
     DPGEN_CHECK(events_.good(),
                 cat("monitor: cannot open events file ", opt_.events_path));
     events_open_ = true;
@@ -182,6 +184,33 @@ void Monitor::stall_warning(int rank, const RankSnapshot& snap,
   w.key("buffered_edges").value(snap.buffered_edges);
   w.key("blocked_senders").value(snap.blocked_senders);
   w.key("progress_marker").value(snap.progress_marker);
+  w.end_object();
+  event_line(w.str());
+}
+
+void Monitor::rank_failed(int rank, const std::string& reason) {
+  rank_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (!events_open_) return;
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("dpgen.events.v1");
+  w.key("event").value("rank_failed");
+  w.key("t_s").value(now_s());
+  w.key("rank").value(rank);
+  w.key("reason").value(reason);
+  w.end_object();
+  event_line(w.str());
+}
+
+void Monitor::restart_event(int attempt, int alive) {
+  if (!events_open_) return;
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("dpgen.events.v1");
+  w.key("event").value("restart");
+  w.key("t_s").value(now_s());
+  w.key("attempt").value(attempt);
+  w.key("nranks").value(alive);
   w.end_object();
   event_line(w.str());
 }

@@ -128,6 +128,11 @@ struct MonitorOptions {
   bool sampler_thread = true;
   std::string source = "engine";  ///< "engine" | "sim" | "generated"
   std::string problem;            ///< problem name, for run_start
+  /// Append to an existing event log instead of truncating it.  The
+  /// fault-tolerant engine opens one Monitor per restart attempt; the
+  /// attempts after the first append, so a recovered run leaves a single
+  /// continuous JSONL history (rank_failed / restart events included).
+  bool append = false;
 };
 
 class Monitor {
@@ -158,6 +163,15 @@ class Monitor {
   void stall_warning(int rank, const RankSnapshot& snap, double waited_s,
                      double timeout_s);
 
+  /// Records a rank declared dead by the fault layer (fault-tolerant
+  /// engine runs): emits a `rank_failed` event carrying the failure
+  /// reason string.
+  void rank_failed(int rank, const std::string& reason);
+
+  /// Records a checkpoint restart: emits a `restart` event with the
+  /// 1-based attempt number and the surviving rank count.
+  void restart_event(int attempt, int alive);
+
   // ---- sampler / simulator ----
 
   /// Seconds since Monitor construction on the wall clock.
@@ -186,6 +200,9 @@ class Monitor {
   }
   long long stall_warnings() const {
     return stall_warnings_.load(std::memory_order_relaxed);
+  }
+  long long rank_failures() const {
+    return rank_failures_.load(std::memory_order_relaxed);
   }
   const MonitorOptions& options() const { return opt_; }
 
@@ -238,6 +255,7 @@ class Monitor {
 
   std::atomic<long long> heartbeats_{0};
   std::atomic<long long> stall_warnings_{0};
+  std::atomic<long long> rank_failures_{0};
 
   mutable std::mutex det_mu_;
   std::vector<Det> det_;

@@ -54,6 +54,7 @@
 #include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "runtime/buffer_pool.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/tile_table.hpp"
 
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
@@ -137,6 +138,17 @@ struct RunOptions {
   /// state pays one relaxed load per tile; snapshots are only taken when
   /// the monitor's sampler asks for one.
   obs::Monitor* monitor = nullptr;
+  /// Fault recovery (only honoured when run_node gets a checkpoint
+  /// store): a rank starved of progress for this long declares a
+  /// transport failure — messages it depends on are presumed lost — so
+  /// every rank unwinds and the engine restarts from the checkpoint.
+  /// 0 = never; must be well under stall_timeout_seconds when set.
+  double recover_stall_seconds = 0.0;
+  /// Arms the tile table's post-ready duplicate guard.  Set by the engine
+  /// for any run that can see re-delivered edges (a fault plan, or a
+  /// fault-tolerant run whose restart replays sends); off by default so
+  /// the clean path stays free of the guard's per-tile set insert.
+  bool replay_guard = false;
 };
 
 struct RunStats {
@@ -310,9 +322,14 @@ struct DriverMetrics {
 }  // namespace detail
 
 /// Executes one rank's share of the problem.  Returns per-rank statistics.
+/// With a checkpoint store, completed tiles and their outgoing edges are
+/// recorded as the run progresses, previously-executed work is credited
+/// instead of re-run, and stored edges seed the fresh tile table (restart
+/// protocol in checkpoint.hpp).
 template <typename S>
 RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
-                  const RunOptions& opt) {
+                  const RunOptions& opt,
+                  CheckpointStore<S>* checkpoint = nullptr) {
   using Clock = std::chrono::steady_clock;
   const auto t_start = Clock::now();
   const int rank = comm.rank();
@@ -324,6 +341,12 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
 
   RunStats stats;
   ShardedTileTable<S> table(opt.order, opt.queue_shards);
+  // Producers can only re-execute (and re-send credited edges) after a
+  // resume or restart; the per-edge executed() screens below are skipped
+  // entirely on a clean first attempt.  Fixed for the whole attempt: the
+  // store enters replay mode between attempts, never mid-run.
+  const bool ckpt_replay = checkpoint && checkpoint->replay_possible();
+  if (opt.replay_guard || ckpt_replay) table.enable_replay_guard();
 
   // ---- initial tiles (paper IV.K): serial, then filtered by ownership ----
   {
@@ -332,10 +355,12 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     std::vector<IntVec> initial;
     hooks.initial_tiles(initial);
     for (auto& t : initial) {
-      if (hooks.owner(t) == rank) {
-        table.seed_ready(std::move(t));
-        ++stats.initial_tiles;
-      }
+      if (hooks.owner(t) != rank) continue;
+      // Tiles the checkpoint already has results for are credited below
+      // instead of re-run.
+      if (ckpt_replay && checkpoint->executed(t)) continue;
+      table.seed_ready(std::move(t));
+      ++stats.initial_tiles;
     }
     stats.init_scan_seconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
@@ -343,6 +368,23 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
 
   const Int owned = hooks.owned_tiles(rank);
   std::atomic<long long> done{0};
+  if (checkpoint) {
+    // Restart seeding: credit executed owned tiles and replay stored
+    // edges for this rank's not-yet-executed consumers into the fresh
+    // table.  Non-executed producers re-execute and re-send live.
+    done.store(checkpoint->seed_rank(
+        rank, [&](const IntVec& t) { return hooks.owner(t); },
+        [&](const IntVec& t) { return hooks.dep_count(t); }, table));
+    checkpoint->attach_table(rank, &table);
+  }
+  // Declared after `table` so detach runs before the table dies.
+  struct CheckpointDetach {
+    CheckpointStore<S>* store;
+    int rank;
+    ~CheckpointDetach() {
+      if (store) store->detach_table(rank);
+    }
+  } checkpoint_detach{checkpoint, rank};
   // Cells of tiles started (credited at dispatch, not completion — see the
   // worker loop).  Only maintained when monitored.
   std::atomic<long long> done_cells{0};
@@ -353,6 +395,13 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   // loop, and the last tile any worker completed.  Both feed the
   // stall-abort message so a stalled rank reports what it was waiting on.
   std::atomic<int> blocked_senders{0};
+  // Worker-failure latch: the first exception a worker throws (a
+  // TransportFailure from a poisoned wire, or a hook error) is captured
+  // and rethrown after the join; the flag stops the other workers' loops
+  // so they unwind instead of waiting for tiles that will never come.
+  std::atomic<bool> worker_failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   // Workers currently processing a popped tile (unpack/execute/pack);
   // feeds RankSnapshot::active_workers so the straggler detector can tell
   // "busy inside a long kernel" apart from "dependency-starved".
@@ -403,6 +452,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     IntVec consumer(static_cast<std::size_t>(dim));
     IntVec producer(static_cast<std::size_t>(dim));
     IntVec poll_consumer;
+    // Outgoing edges of the tile in flight, captured for the checkpoint
+    // (recorded atomically with the executed mark in tile_complete).
+    std::vector<CheckpointEdge<S>> ckpt_edges;
     long long seen_marker = progress_marker.load();
     auto seen_time = Clock::now();
     detail::Backoff backoff;
@@ -421,14 +473,23 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         detail::decode_edge<S>(msg->payload, dim, num_edges, &ed.edge,
                                &poll_consumer, &ed.payload);
         wire_pool.release(std::move(msg->payload));
-        table.deliver(poll_consumer, expected_deps, std::move(ed));
+        // After a restart/resume, a re-executing producer re-sends edges
+        // whose consumer the checkpoint already credits as executed.
+        // Delivering those would rebuild the consumer's full dependency
+        // set and make it execute twice, so they are dropped here.
+        if (ckpt_replay && checkpoint->executed(poll_consumer)) {
+          payload_pool.release(std::move(ed.payload));
+        } else {
+          table.deliver(poll_consumer, expected_deps, std::move(ed));
+        }
         got = true;
       }
       ++local.polls;
       return got;
     };
 
-    while (done.load(std::memory_order_acquire) < owned) {
+    while (!worker_failed.load(std::memory_order_acquire) &&
+           done.load(std::memory_order_acquire) < owned) {
       auto ready = table.pop(preferred_shard);
       if (!ready) {
         // 6'. idle path: poll, then back off so the core is not burnt.
@@ -453,6 +514,24 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             const double waited =
                 std::chrono::duration<double>(Clock::now() - seen_time)
                     .count();
+            if (checkpoint && opt.recover_stall_seconds > 0 &&
+                waited > opt.recover_stall_seconds) {
+              // Recovery path: dependencies this rank is starving for are
+              // presumed lost (a dropped message cannot be told apart
+              // from a slow one, so the budget decides).  Poison the
+              // transport so every rank unwinds; the engine restarts
+              // from the checkpoint and producers re-send.
+              const TableSnapshot snap = table.snapshot();
+              const std::string why = cat(
+                  "no progress for ", waited, "s (recover budget ",
+                  opt.recover_stall_seconds, "s): presumed message loss; "
+                  "ready=", snap.ready_tiles, " pending=",
+                  snap.pending_tiles, " buffered_edges=",
+                  snap.buffered_edges, " executed=", done.load(), "/",
+                  owned);
+              comm.declare_failure(why);
+              throw minimpi::TransportFailure(why);
+            }
             if (waited > 0.5 * opt.stall_timeout_seconds) {
               // Halfway to the abort: warn once per no-progress stretch so
               // live monitors see trouble before the run dies.
@@ -580,6 +659,11 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
               sub_ck(ready->tile[static_cast<std::size_t>(k)],
                      off[static_cast<std::size_t>(k)]);
         if (!hooks.tile_exists(consumer)) continue;
+        // Executed consumers (possible only after a restart/resume, when
+        // this producer is re-running) already folded this edge into their
+        // recorded results; sending it again would at best be dropped at
+        // the receiver and at worst re-execute the consumer.
+        if (ckpt_replay && checkpoint->executed(consumer)) continue;
         const int dst = hooks.owner(consumer);
         if (dst == rank) {
           // Local edge: pack into a pooled payload vector and move it
@@ -599,6 +683,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
                        count <= static_cast<Int>(ed.payload.size()));
           ed.payload.resize(static_cast<std::size_t>(count));
           metrics.payload_scalars.observe(count);
+          if (checkpoint)
+            ckpt_edges.push_back(CheckpointEdge<S>{consumer, e, ed.payload});
           table.deliver(consumer, expected_deps, std::move(ed));
           ++local.local_edges;
         } else {
@@ -616,6 +702,11 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
           DPGEN_ASSERT(count >= 0 && count <= hooks.edge_capacity(e));
           detail::finish_edge_wire<S>(wire, e, consumer, count);
           metrics.payload_scalars.observe(count);
+          if (checkpoint)
+            // finish_edge_wire only shrinks the buffer, so `out` (the
+            // payload region) is still valid here.
+            ckpt_edges.push_back(
+                CheckpointEdge<S>{consumer, e, std::vector<S>(out, out + count)});
           if (!comm.try_send(dst, e, wire)) {
             // Destination buffers full: service our own mailbox while
             // backing off, which avoids cyclic send deadlocks under
@@ -625,6 +716,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             blocked_senders.fetch_add(1, std::memory_order_relaxed);
             detail::Backoff send_backoff;
             do {
+              if (worker_failed.load(std::memory_order_acquire))
+                raise("peer worker failed while this send was blocked");
               poll();
               send_backoff.pause();
             } while (!comm.try_send(dst, e, wire));
@@ -638,6 +731,14 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
           metrics.edge_sent[static_cast<std::size_t>(e)]->increment();
           ++local.remote_edges;
         }
+      }
+
+      // Completed-tile record (the executed mark and the outgoing edges
+      // land in one atomic step, so the store never names a producer
+      // whose edges it does not hold).
+      if (checkpoint) {
+        checkpoint->tile_complete(ready->tile, std::move(ckpt_edges));
+        ckpt_edges.clear();
       }
 
       // 5. hand the tile's containers back to the table so the next
@@ -695,18 +796,52 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     stats.stall_warnings += local.stall_warnings;
   };
 
+  // Worker exceptions must not escape their threads (std::terminate);
+  // capture the first and rethrow it on the spawning thread after the
+  // join, which is how a TransportFailure reaches the engine's
+  // fault-tolerant restart loop.
+  auto guarded_worker = [&](int w) {
+    try {
+      worker(w);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      worker_failed.store(true, std::memory_order_release);
+    }
+  };
+
 #if defined(_OPENMP) && defined(DPGEN_RUNTIME_USE_OPENMP)
 #pragma omp parallel num_threads(opt.threads)
-  { worker(omp_get_thread_num()); }
+  { guarded_worker(omp_get_thread_num()); }
 #else
   if (opt.threads <= 1) {
-    worker(0);
+    guarded_worker(0);
   } else {
     std::vector<std::thread> threads;
-    for (int w = 0; w < opt.threads; ++w) threads.emplace_back(worker, w);
+    for (int w = 0; w < opt.threads; ++w)
+      threads.emplace_back(guarded_worker, w);
     for (auto& t : threads) t.join();
   }
 #endif
+
+  if (first_error) {
+    // A rank about to unwind must not leave its peers parked: they may
+    // already be waiting in the final barrier (which only wakes on
+    // transport failure) or starving for edges this rank will never send.
+    // TransportFailure implies the transport is already poisoned; any
+    // other error poisons it here so the whole world unwinds.
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const minimpi::TransportFailure&) {
+    } catch (const std::exception& e) {
+      comm.declare_failure(cat("rank ", rank, " worker error: ", e.what()));
+    } catch (...) {
+      comm.declare_failure(cat("rank ", rank, " worker error"));
+    }
+    std::rethrow_exception(first_error);
+  }
 
   stats.edge_allocs += wire_pool.misses();
   stats.pool_hits += wire_pool.hits();

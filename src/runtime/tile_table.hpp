@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -68,6 +69,23 @@ struct TableStats {
   long long delivered_edges = 0;
   /// Most tiles simultaneously eligible (ready-queue depth high-water).
   long long peak_ready_tiles = 0;
+  /// Redeliveries of an edge index a pending tile already buffered —
+  /// dropped on arrival.  Nonzero under a duplicating transport fault or a
+  /// checkpoint replay that overlaps live sends; always zero on a clean run.
+  long long duplicate_edges = 0;
+};
+
+/// Serialized table contents (checkpoint/restart): every pending tile with
+/// its remaining-dependency count and buffered edges, plus the ready queue.
+template <typename S>
+struct TableState {
+  struct Pending {
+    IntVec tile;
+    int waiting = 0;  ///< dependencies still missing
+    std::vector<EdgeData<S>> edges;
+  };
+  std::vector<Pending> pending;
+  std::vector<ReadyTile<S>> ready;
 };
 
 namespace detail {
@@ -155,6 +173,19 @@ class TileTable {
                       ExpectedFn&& expected_deps, EdgeData<S> edge) {
     const std::size_t hash = detail::scramble_hash(tile_hash);
     std::lock_guard<std::mutex> lock(mu_);
+    // A duplicate that arrives after its tile already went ready must not
+    // resurrect the tile: the slot is tombstoned by then, so without this
+    // check the duplicate would open a fresh pending entry — and for a
+    // tile expecting a single edge, immediately re-ready (and re-execute)
+    // it, double-crediting the completion count.  Tracking every satisfied
+    // tile costs a set insert per tile, so it is only armed when
+    // duplicates are possible at all (fault injection or replay); a clean
+    // transport never re-delivers, and the clean path stays
+    // allocation-free.
+    if (replay_guard_ && satisfied_.count(tile) != 0) {
+      ++stats_.duplicate_edges;
+      return;
+    }
     grow_if_needed();
 
     const std::size_t mask = slots_.size() - 1;
@@ -196,6 +227,16 @@ class TileTable {
           std::max(stats_.peak_pending_tiles, size_);
     }
 
+    // Duplicate-edge guard: a faulty (or replayed) wire can deliver the
+    // same edge twice; counting it twice would fire waiting==0 early and
+    // execute the tile with dependencies missing.
+    for (const auto& have : slot->edges) {
+      if (have.edge == edge.edge) {
+        ++stats_.duplicate_edges;
+        return;
+      }
+    }
+
     cur_edges_ += 1;
     cur_scalars_ += static_cast<long long>(edge.payload.size());
     stats_.peak_buffered_edges =
@@ -206,6 +247,7 @@ class TileTable {
 
     slot->edges.push_back(std::move(edge));
     if (--slot->waiting == 0) {
+      if (replay_guard_) satisfied_.insert(tile);
       push_ready(std::move(slot->tile), std::move(slot->edges));
       slot->tile.clear();
       slot->edges.clear();
@@ -255,6 +297,64 @@ class TileTable {
   TableSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     return {size_, static_cast<long long>(ready_.size()), cur_edges_};
+  }
+
+  /// Deep copy of the table contents for checkpointing (pending tiles with
+  /// their buffered edges, plus the ready queue in heap order).
+  TableState<S> export_state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    TableState<S> out;
+    for (const Slot& s : slots_) {
+      if (s.state != kOccupied) continue;
+      out.pending.push_back(
+          typename TableState<S>::Pending{s.tile, s.waiting, s.edges});
+    }
+    out.ready = ready_;
+    return out;
+  }
+
+  /// Arms the post-ready duplicate guard (the satisfied-tile set consulted
+  /// in deliver()).  Call before any tile goes ready, on tables that may
+  /// see re-delivered edges: fault-injected runs, checkpoint replay.  Off
+  /// by default — the guard costs a set insert per completed tile, which
+  /// would break the clean path's zero-per-edge-allocation invariant.
+  void enable_replay_guard() {
+    std::lock_guard<std::mutex> lock(mu_);
+    replay_guard_ = true;
+  }
+
+  /// Reloads exported contents into this (expected empty) table.  Pending
+  /// tiles are replayed through the delivery path — same accounting, same
+  /// ready transition if the state says no dependencies remain.  A restore
+  /// implies replayed edges may still arrive, so the guard is armed.
+  void restore_state(const TableState<S>& state) {
+    enable_replay_guard();
+    for (const auto& p : state.pending) {
+      const int expected =
+          p.waiting + static_cast<int>(p.edges.size());
+      for (const auto& e : p.edges)
+        deliver(p.tile, [&](const IntVec&) { return expected; }, e);
+    }
+    for (const auto& r : state.ready) restore_ready(r);
+  }
+
+  /// Re-enqueues one checkpointed ready tile, restoring the buffered-edge
+  /// accounting that pop() will unwind.
+  void restore_ready(const ReadyTile<S>& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    replay_guard_ = true;
+    for (const auto& e : r.edges) {
+      cur_edges_ += 1;
+      cur_scalars_ += static_cast<long long>(e.payload.size());
+    }
+    stats_.peak_buffered_edges =
+        std::max(stats_.peak_buffered_edges, cur_edges_);
+    stats_.peak_buffered_scalars =
+        std::max(stats_.peak_buffered_scalars, cur_scalars_);
+    IntVec tile = r.tile;
+    std::vector<EdgeData<S>> edges = r.edges;
+    satisfied_.insert(tile);  // any further delivery for it is a duplicate
+    push_ready(std::move(tile), std::move(edges));
   }
 
  private:
@@ -315,6 +415,13 @@ class TileTable {
   std::size_t tombstones_ = 0;
   std::vector<ReadyTile<S>> ready_;  // binary heap ordered by heap_before()
   std::vector<ReadyTile<S>> spares_;  // recycled (tile, edges) containers
+  /// Tiles whose dependency set has been fully delivered (they moved to the
+  /// ready queue).  Late duplicates of their edges are dropped on sight —
+  /// the tombstone left in slots_ forgets the tile's identity, so this set
+  /// is what makes the duplicate guard hold across the ready transition.
+  /// Populated only when replay_guard_ is armed (see enable_replay_guard).
+  std::unordered_set<IntVec, IntVecHash> satisfied_;
+  bool replay_guard_ = false;
   ReadyDepthAgg own_depth_;
   ReadyDepthAgg* depth_;
   TableStats stats_;
@@ -339,6 +446,12 @@ class ShardedTileTable {
   }
 
   int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Arms every shard's post-ready duplicate guard (see
+  /// TileTable::enable_replay_guard).
+  void enable_replay_guard() {
+    for (auto& s : shards_) s->enable_replay_guard();
+  }
 
   void seed_ready(IntVec tile) {
     shard_for(IntVecHash{}(tile)).seed_ready(std::move(tile));
@@ -389,9 +502,35 @@ class ShardedTileTable {
       total.peak_buffered_edges += t.peak_buffered_edges;
       total.peak_buffered_scalars += t.peak_buffered_scalars;
       total.delivered_edges += t.delivered_edges;
+      total.duplicate_edges += t.duplicate_edges;
     }
     total.peak_ready_tiles = depth_.peak();
     return total;
+  }
+
+  /// Shards concatenated into one flat state (the checkpoint does not
+  /// record sharding; restore re-routes by hash, so a state exported from
+  /// N shards restores cleanly into M).
+  TableState<S> export_state() const {
+    TableState<S> out;
+    for (const auto& s : shards_) {
+      TableState<S> t = s->export_state();
+      for (auto& p : t.pending) out.pending.push_back(std::move(p));
+      for (auto& r : t.ready) out.ready.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  void restore_state(const TableState<S>& state) {
+    enable_replay_guard();
+    for (const auto& p : state.pending) {
+      const int expected =
+          p.waiting + static_cast<int>(p.edges.size());
+      for (const auto& e : p.edges)
+        deliver(p.tile, [&](const IntVec&) { return expected; }, e);
+    }
+    for (const auto& r : state.ready)
+      shard_for(IntVecHash{}(r.tile)).restore_ready(r);
   }
 
   /// Summed over shards; each shard is internally consistent but the

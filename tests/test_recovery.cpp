@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "engine/decisions.hpp"
 #include "engine/interpret.hpp"
@@ -55,6 +57,39 @@ TEST(Recovery, RejectsPointsOutsideSpace) {
   EXPECT_THROW(rec.value_at({-1, 0, 0, 0}), Error);
   EXPECT_TRUE(rec.contains({3, 3, 0, 0}));
 }
+
+#ifndef NDEBUG
+TEST(Recovery, ConcurrentValueAtIsCaughtInDebugBuilds) {
+  // value_at is documented not thread-safe: it fills the tile cache with
+  // no lock.  The debug-build reentrancy guard must turn a concurrent
+  // call into a loud Error instead of silent cache corruption.  The
+  // overlap is made deterministic by intruding from inside the kernel,
+  // which runs while the first value_at is recomputing its tile.
+  problems::Problem p = problems::bandit2(4);
+  tiling::TilingModel model(p.spec);
+  std::atomic<bool> armed{false};
+  std::atomic<bool> fired{false};
+  Recovery* rec_ptr = nullptr;
+  CenterFn kernel = [&, inner = p.kernel](const Cell& c) {
+    if (armed.load() && !fired.exchange(true)) {
+      std::thread intruder([&] {
+        EXPECT_THROW((void)rec_ptr->value_at({0, 0, 0, 0}), Error);
+      });
+      intruder.join();
+    }
+    inner(c);
+  };
+  Recovery rec(model, {8}, kernel);
+  rec_ptr = &rec;
+  armed.store(true);
+  // Uncached point: forces a recompute, whose kernel launches the
+  // intruder while this call holds the guard.
+  (void)rec.value_at({0, 0, 0, 0});
+  EXPECT_TRUE(fired.load());
+  // The guard cleared on exit: single-threaded use keeps working.
+  EXPECT_NO_THROW((void)rec.value_at({4, 0, 0, 0}));
+}
+#endif
 
 TEST(Recovery, EdgeMemoryIsSublinear) {
   // Stored edges are O(n^{d-1}) packed scalars, far below the n^d space.

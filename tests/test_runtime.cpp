@@ -353,5 +353,148 @@ TEST(RuntimeSnapshot, ConcurrentWithDeliverAndPop) {
   EXPECT_TRUE(table.idle());
 }
 
+// --- checkpoint/restart state round-trips (tests/test_faults.cpp holds the
+// engine-level restart suite; these cover the table layer in isolation) ---
+
+TEST(TableStateRoundTrip, PendingAndReadySurviveExportRestore) {
+  TileTable<double> src(default_order());
+  auto two_deps = [](const IntVec&) { return 2; };
+  auto three_deps = [](const IntVec&) { return 3; };
+  src.seed_ready({4, 4});
+  src.deliver({1, 1}, two_deps, {0, {1.0}});              // pending, 1/2
+  src.deliver({2, 2}, three_deps, {1, {2.0, 3.0}});       // pending, 1/3
+  src.deliver({2, 2}, three_deps, {2, {4.0}});            // pending, 2/3
+  src.deliver({3, 3}, two_deps, {0, {5.0}});              // goes ready below
+  src.deliver({3, 3}, two_deps, {1, {6.0}});
+
+  const TableState<double> state = src.export_state();
+  EXPECT_EQ(state.pending.size(), 2u);
+  EXPECT_EQ(state.ready.size(), 2u);
+
+  TileTable<double> dst(default_order());
+  dst.restore_state(state);
+  TableSnapshot before = src.snapshot(), after = dst.snapshot();
+  EXPECT_EQ(after.pending_tiles, before.pending_tiles);
+  EXPECT_EQ(after.ready_tiles, before.ready_tiles);
+  EXPECT_EQ(after.buffered_edges, before.buffered_edges);
+
+  // The restored table completes exactly like the original would: the
+  // missing dependencies arrive and every tile pops in priority order
+  // with its full edge set.
+  dst.deliver({1, 1}, two_deps, {1, {7.0}});
+  dst.deliver({2, 2}, three_deps, {0, {8.0}});
+  std::vector<IntVec> order;
+  while (auto t = dst.pop()) {
+    if (t->tile == (IntVec{1, 1}) || t->tile == (IntVec{2, 2})) {
+      EXPECT_EQ(t->edges.size(), t->tile == (IntVec{2, 2}) ? 3u : 2u);
+    }
+    order.push_back(t->tile);
+  }
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_TRUE(dst.idle());
+}
+
+TEST(TableStateRoundTrip, RestoredReadyTileKeepsDuplicateGuard) {
+  // A tile that went ready before the export must reject re-delivered
+  // edges after the restore — otherwise a restart under a duplicating
+  // fault would re-execute it (the double-execution bug the chaos suite's
+  // smith_waterman case caught on the live path).
+  TileTable<double> src(default_order());
+  auto one_dep = [](const IntVec&) { return 1; };
+  src.deliver({0, 1}, one_dep, {0, {1.5}});  // immediately ready
+  TileTable<double> dst(default_order());
+  dst.restore_state(src.export_state());
+  dst.deliver({0, 1}, one_dep, {0, {1.5}});  // duplicate of the same edge
+  EXPECT_EQ(dst.stats().duplicate_edges, 1);
+  auto t = dst.pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->tile, (IntVec{0, 1}));
+  EXPECT_FALSE(dst.pop().has_value());  // not resurrected
+  EXPECT_TRUE(dst.idle());
+}
+
+TEST(TableStateRoundTrip, TombstonedSlotsAreNotExported) {
+  // Tiles that went ready (tombstoned slots) and recycled containers must
+  // not leak into the export: only genuinely pending tiles and the
+  // not-yet-popped ready queue travel.
+  TileTable<double> table(default_order());
+  auto one_dep = [](const IntVec&) { return 1; };
+  auto two_deps = [](const IntVec&) { return 2; };
+  for (Int i = 0; i < 8; ++i)
+    table.deliver({i, i}, one_dep, {0, {static_cast<double>(i)}});
+  for (int i = 0; i < 8; ++i) {
+    auto t = table.pop();
+    ASSERT_TRUE(t.has_value());
+    table.recycle(std::move(*t));
+  }
+  table.deliver({9, 0}, two_deps, {0, {42.0}});
+  const TableState<double> state = table.export_state();
+  ASSERT_EQ(state.pending.size(), 1u);
+  EXPECT_EQ(state.pending[0].tile, (IntVec{9, 0}));
+  EXPECT_EQ(state.pending[0].waiting, 1);
+  ASSERT_EQ(state.pending[0].edges.size(), 1u);
+  EXPECT_EQ(state.pending[0].edges[0].payload, (std::vector<double>{42.0}));
+  EXPECT_TRUE(state.ready.empty());
+}
+
+TEST(TableStateRoundTrip, ShardedExportRestoresAcrossShardCounts) {
+  // The exported state is shard-agnostic: a 4-shard table's state restores
+  // into a 2-shard table (the engine re-shards after a restart when the
+  // surviving world is smaller).
+  TileOrder order = default_order();
+  ShardedTileTable<double> src(order, 4);
+  auto two_deps = [](const IntVec&) { return 2; };
+  for (Int i = 0; i < 12; ++i) {
+    src.deliver({i, i + 1}, two_deps, {0, {static_cast<double>(i)}});
+    if (i % 2 == 0)
+      src.deliver({i, i + 1}, two_deps, {1, {static_cast<double>(-i)}});
+  }
+  ShardedTileTable<double> dst(order, 2);
+  dst.restore_state(src.export_state());
+  TableSnapshot before = src.snapshot(), after = dst.snapshot();
+  EXPECT_EQ(after.pending_tiles, before.pending_tiles);
+  EXPECT_EQ(after.ready_tiles, before.ready_tiles);
+  EXPECT_EQ(after.buffered_edges, before.buffered_edges);
+  // Finish the odd tiles and drain everything through the steal path.
+  for (Int i = 1; i < 12; i += 2)
+    dst.deliver({i, i + 1}, two_deps, {1, {static_cast<double>(-i)}});
+  int popped = 0;
+  while (dst.pop(0)) ++popped;
+  EXPECT_EQ(popped, 12);
+  EXPECT_TRUE(dst.idle());
+}
+
+TEST(TableStateRoundTrip, DuplicateEdgeStatSurvivesConcurrentDelivery) {
+  // The duplicate guard must hold under concurrent duplicate delivery:
+  // exactly one copy of each edge lands no matter the interleaving.
+  TileOrder order = default_order();
+  ShardedTileTable<double> table(order, 2);
+  table.enable_replay_guard();  // duplicates only occur on guarded runs
+  auto four_deps = [](const IntVec&) { return 4; };
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w)
+    workers.emplace_back([&, w] {
+      // Every thread delivers every edge of every tile: kThreads copies
+      // of each, all but one of which must be dropped.
+      (void)w;
+      for (Int t = 0; t < 6; ++t)
+        for (int e = 0; e < 4; ++e)
+          table.deliver({t, t}, four_deps,
+                        {e, {static_cast<double>(t * 4 + e)}});
+    });
+  for (auto& t : workers) t.join();
+  int popped = 0;
+  while (auto t = table.pop(0)) {
+    EXPECT_EQ(t->edges.size(), 4u);
+    ++popped;
+  }
+  EXPECT_EQ(popped, 6);
+  const TableStats s = table.stats();
+  EXPECT_EQ(s.delivered_edges, 6 * 4);
+  EXPECT_EQ(s.duplicate_edges, 6 * 4 * (kThreads - 1));
+  EXPECT_TRUE(table.idle());
+}
+
 }  // namespace
 }  // namespace dpgen::runtime

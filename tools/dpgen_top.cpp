@@ -15,15 +15,23 @@
 //       (--slow-node=NODE:FACTOR) makes the online detector observable
 //       on demand.
 //
+//   dpgen-top --problem=lcs --faults=kill:1@40 --checkpoint=ckpt.json
+//       engine mode only: replays a deterministic minimpi::FaultPlan
+//       (kill/drop/dup/delay/slow) against the run and flushes the
+//       dpgen.checkpoint.v1 store, so the failure, the restart and the
+//       re-balanced ownership are all visible in the monitor.
+//
 // Either mode takes --events=FILE to append the dpgen.events.v1 JSONL
 // log, --html=FILE to render a self-refreshing dashboard (progress lines
 // per rank via sim::series_svg), and --check to run non-interactively and
 // print one machine-readable summary line:
 //
-//   events=N heartbeats=H stragglers=S stall_warnings=W ranks=R
+//   events=N heartbeats=H stragglers=S stall_warnings=W rank_failures=F
+//   restarts=X ranks=R
 //
 // which scripts/check.sh asserts on (>=1 heartbeat per rank, zero
-// spurious straggler flags on balanced runs).
+// spurious straggler flags on balanced runs, and exactly one
+// failure/restart pair in the chaos smoke).
 
 #include <atomic>
 #include <chrono>
@@ -36,6 +44,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "minimpi/faults.hpp"
 #include "obs/monitor.hpp"
 #include "problems/problems.hpp"
 #include "sim/cluster_sim.hpp"
@@ -60,6 +69,8 @@ struct Options {
   std::vector<double> slowdown;  // sparse --slow-node=I:F, sized later
   double interval = 0.0;         // 0 = mode default
   double refresh = 0.2;
+  std::string faults;            // FaultPlan text, engine mode only
+  std::string checkpoint_path;   // dpgen.checkpoint.v1 JSON flush target
   std::string events_path;
   std::string html_path;
   bool check = false;
@@ -120,7 +131,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --problem=NAME [--params=a,b,..] [--ranks=R] [--threads=T]\n"
       "          [--interval=S] [--refresh=S] [--events=FILE] [--html=FILE]\n"
-      "          [--check]\n"
+      "          [--faults=PLAN] [--checkpoint=FILE] [--check]\n"
       "       %s --problem=NAME --sim [--nodes=N] [--cores=C]\n"
       "          [--slow-node=NODE:FACTOR]... [--interval=S] [--events=FILE]\n"
       "          [--html=FILE] [--check]\n"
@@ -227,6 +238,7 @@ void write_html(const std::string& path, const std::string& title,
 /// Counts events in a dpgen.events.v1 JSONL log -> the --check summary.
 struct EventTotals {
   long long events = 0, heartbeats = 0, stragglers = 0, stall_warnings = 0;
+  long long rank_failures = 0, restarts = 0;
   int nranks = 0;
 };
 
@@ -249,6 +261,10 @@ EventTotals summarize_events(const std::string& path) {
       ++t.stragglers;
     else if (kind == "stall_warning")
       ++t.stall_warnings;
+    else if (kind == "rank_failed")
+      ++t.rank_failures;
+    else if (kind == "restart")
+      ++t.restarts;
   }
   return t;
 }
@@ -256,8 +272,9 @@ EventTotals summarize_events(const std::string& path) {
 void print_summary(const EventTotals& t) {
   std::printf(
       "events=%lld heartbeats=%lld stragglers=%lld stall_warnings=%lld "
-      "ranks=%d\n",
-      t.events, t.heartbeats, t.stragglers, t.stall_warnings, t.nranks);
+      "rank_failures=%lld restarts=%lld ranks=%d\n",
+      t.events, t.heartbeats, t.stragglers, t.stall_warnings,
+      t.rank_failures, t.restarts, t.nranks);
 }
 
 // ---- modes ----------------------------------------------------------------
@@ -272,6 +289,23 @@ int run_engine_top(const Options& opt, const Entry& entry,
   eopt.threads = opt.threads;
   eopt.monitor_path = opt.events_path.empty() ? "-" : opt.events_path;
   eopt.monitor_interval = opt.interval > 0 ? opt.interval : 0.05;
+  if (!opt.faults.empty()) {
+    // Replays a deterministic fault plan (implies fault-tolerant mode):
+    // the monitor shows the kill, the restart, and the re-balanced
+    // ownership live.  Grammar: see minimpi::FaultPlan::parse.
+    eopt.fault_plan = minimpi::FaultPlan::parse(opt.faults);
+    // Dropped messages only recover via the stall detector.  Kill plans
+    // restart on their own and slow plans finish on their own — and a
+    // slowed rank must not be mistaken for a stalled one, so the
+    // detector is armed only when the plan actually drops messages.
+    if (opt.faults.find("drop") != std::string::npos)
+      eopt.recover_stall_seconds = 0.5;
+  }
+  if (!opt.checkpoint_path.empty()) {
+    eopt.fault_tolerant = true;
+    eopt.checkpoint_json_path = opt.checkpoint_path;
+    eopt.checkpoint_every_tiles = 8;
+  }
 
   std::atomic<bool> done{false};
   engine::EngineResult result;
@@ -327,6 +361,17 @@ int run_engine_top(const Options& opt, const Entry& entry,
   // Final view from the run's own results (the hub entry is gone).
   long long stall_warnings = 0;
   for (const auto& s : result.rank_stats) stall_warnings += s.stall_warnings;
+  for (int r : result.failed_ranks)
+    std::fprintf(stderr, "dpgen-top: rank %d failed mid-run\n", r);
+  if (result.restarts > 0)
+    std::fprintf(stderr,
+                 "dpgen-top: recovered via %d checkpoint restart%s "
+                 "(kills=%lld dropped=%lld duplicated=%lld delayed=%lld)\n",
+                 result.restarts, result.restarts == 1 ? "" : "s",
+                 result.fault_stats.kills_fired,
+                 result.fault_stats.messages_dropped,
+                 result.fault_stats.messages_duplicated,
+                 result.fault_stats.messages_delayed);
   for (const obs::StragglerFlag& f : result.stragglers)
     std::fprintf(stderr,
                  "dpgen-top: straggler: rank %d pace=%.4g median=%.4g "
@@ -341,10 +386,12 @@ int run_engine_top(const Options& opt, const Entry& entry,
     // No log to count from; live_heartbeats is the last hub sample (a
     // lower bound — the forced final beats land after the poll loop).
     std::printf("events=0 heartbeats=%lld stragglers=%lld "
-                "stall_warnings=%lld ranks=%d\n",
+                "stall_warnings=%lld rank_failures=%zu restarts=%d "
+                "ranks=%d\n",
                 live_heartbeats,
                 static_cast<long long>(result.stragglers.size()),
-                stall_warnings, opt.ranks);
+                stall_warnings, result.failed_ranks.size(),
+                result.restarts, opt.ranks);
   }
   return 0;
 }
@@ -468,6 +515,8 @@ int main(int argc, char** argv) {
     }
     else if (const char* v = value("--interval=")) opt.interval = std::atof(v);
     else if (const char* v = value("--refresh=")) opt.refresh = std::atof(v);
+    else if (const char* v = value("--faults=")) opt.faults = v;
+    else if (const char* v = value("--checkpoint=")) opt.checkpoint_path = v;
     else if (const char* v = value("--events=")) opt.events_path = v;
     else if (const char* v = value("--html=")) opt.html_path = v;
     else if (arg == "--check") opt.check = true;
@@ -486,6 +535,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opt.problem.empty()) return usage(argv[0]);
+  if (opt.sim && (!opt.faults.empty() || !opt.checkpoint_path.empty())) {
+    std::fprintf(stderr,
+                 "dpgen-top: --faults/--checkpoint need the live engine "
+                 "(drop --sim)\n");
+    return 2;
+  }
   const Entry* entry = find_entry(opt.problem);
   if (!entry) {
     std::fprintf(stderr, "dpgen-top: unknown problem '%s'\n",
