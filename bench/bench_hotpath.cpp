@@ -40,11 +40,12 @@ struct HotpathRow {
 };
 
 HotpathRow run_once(const tiling::TilingModel& model, Int n, int ranks,
-                    bool monitored = false) {
+                    bool monitored = false, bool profiled = false) {
   engine::EngineOptions opt;
   opt.ranks = ranks;
   opt.threads = 1;
   if (monitored) opt.monitor_path = "-";  // live telemetry, no event log
+  if (profiled) opt.profile_path = "-";   // sampling profiler, no document
   std::int64_t alloc0 = counter_value("runtime.edge_alloc");
   std::int64_t hit0 = counter_value("runtime.pool_hit");
   auto r = engine::run(model, {n}, [](const engine::Cell& c) {
@@ -94,11 +95,12 @@ double table_deliver_pop_once(Int n) {
 /// dpgen-bench entries: the same workloads as the table, at sizes small
 /// enough for repeated gated trials.
 obs::BenchSample hotpath_sample(Int width, Int n, int ranks,
-                                bool monitored = false) {
+                                bool monitored = false,
+                                bool profiled = false) {
   tiling::TilingModel model(grid_spec(width));
   std::int64_t bytes0 =
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value();
-  HotpathRow row = run_once(model, n, ranks, monitored);
+  HotpathRow row = run_once(model, n, ranks, monitored, profiled);
   const double bytes_on_wire = static_cast<double>(
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value() -
       bytes0);
@@ -127,6 +129,12 @@ obs::BenchSample hotpath_sample(Int width, Int n, int ranks,
   // is one relaxed load per tile.
   register_bench("hotpath/grid_w2_mon",
                  [] { return hotpath_sample(2, 255, 1, true); });
+  // Same workload with the sampling profiler + per-tile counter windows
+  // attached: guards the "continuous profiling costs < 3% edge
+  // throughput" budget — the steady-state cost is two frame-stack stores
+  // per span plus an adaptive-stride counter read (most tiles skip it).
+  register_bench("hotpath/grid_w2_prof",
+                 [] { return hotpath_sample(2, 255, 1, false, true); });
   register_bench("hotpath/table_deliver_pop", [] {
     obs::BenchSample s;
     const Int n = 64;

@@ -16,7 +16,11 @@
 //   {"bench": ..., "config": ..., "seconds": ..., "metrics": {...}}
 // rendered through json::Writer (strings escaped, NaN/inf as null), so
 // sweeps can be diffed across commits without parsing printf tables.  The
-// flag is stripped before google-benchmark sees argv.
+// flag is stripped before google-benchmark sees argv.  The document is
+//   {"meta": {git_sha, machine, fingerprint, timestamp}, "records": [...]}
+// — the same machine fingerprint dpgen-bench stamps into dpgen.bench.v1
+// documents (obs::collect_run_meta), so archived sweeps from different
+// hosts are never compared against each other by accident.
 
 #ifdef DPGEN_BENCH_STANDALONE
 #include <benchmark/benchmark.h>
@@ -74,11 +78,19 @@ class JsonSink {
       std::fprintf(stderr, "cannot open --json file '%s'\n", path_.c_str());
       return;
     }
-    std::fputs("[\n", f);
+    const obs::RunMeta meta = obs::collect_run_meta(0);
+    json::Writer mw;
+    mw.begin_object();
+    mw.key("git_sha").value(meta.git_sha);
+    mw.key("machine").value(meta.machine);
+    mw.key("fingerprint").value(meta.fingerprint);
+    mw.key("timestamp").value(static_cast<double>(meta.timestamp));
+    mw.end_object();
+    std::fprintf(f, "{\n\"meta\": %s,\n\"records\": [\n", mw.str().c_str());
     for (std::size_t i = 0; i < records_.size(); ++i)
       std::fprintf(f, "  %s%s\n", records_[i].c_str(),
                    i + 1 < records_.size() ? "," : "");
-    std::fputs("]\n", f);
+    std::fputs("]\n}\n", f);
     std::fclose(f);
   }
 

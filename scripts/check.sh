@@ -68,6 +68,35 @@ build/tools/dpgen-analyze --events=build/monitor-smoke/skew.jsonl \
   --schema=tools/events_schema.json > /dev/null
 echo "live-monitor smoke passed"
 
+echo "==== continuous-profiling smoke (sampler + cost model + cross-check)"
+# A profiled engine run must emit a dpgen.profile.v1 document that (a)
+# validates through the schema registry (no --schema: resolved from the
+# document's own id), (b) prints a cost table, (c) cross-checks busy-time
+# shares within 15 points of the span-attribution report (exit 1 on
+# mismatch), and (d) renders a non-empty flame view.  Works without
+# perf-event access: the profiler degrades to the cputime channel on its
+# own.  512x512 at ~5 kHz gives enough samples (>100) that the shares
+# are statistically stable.
+rm -rf build/profile-smoke && mkdir -p build/profile-smoke
+build/tools/dpgen-analyze --problem=lcs --params=512,512 \
+  --ranks=2 --threads=2 --profile-hz=5003 \
+  --profile-out=build/profile-smoke/lcs.prof.json \
+  --report=build/profile-smoke/lcs.report.json > /dev/null
+build/tools/dpgen-analyze --validate=build/profile-smoke/lcs.prof.json
+build/tools/dpgen-analyze --profile=build/profile-smoke/lcs.prof.json \
+  --report=build/profile-smoke/lcs.report.json \
+  --flame=build/profile-smoke/lcs.flame.html
+test -s build/profile-smoke/lcs.flame.html
+# Synthetic profile from the simulator's DES time, same document format.
+build/tools/dpgen-analyze --problem=lcs --params=64,64 --sim --nodes=4 \
+  --cores=2 --report=build/profile-smoke/sim.report.json \
+  --profile-out=build/profile-smoke/sim.prof.json > /dev/null
+build/tools/dpgen-analyze --validate=build/profile-smoke/sim.prof.json
+# dpgen-top's live profiler columns ride the same counters.
+build/tools/dpgen-top --problem=lcs --params=96,96 --ranks=2 --threads=2 \
+  --profile --check | grep -q "profile samples="
+echo "continuous-profiling smoke passed"
+
 echo "==== chaos smoke (fault injection + checkpoint restart)"
 # A seeded mid-run rank kill through dpgen-top: the run must recover via a
 # checkpoint restart (exactly one failure/restart pair in the summary), the
@@ -185,10 +214,14 @@ if [[ "${1:-}" != "--quick" ]]; then
   # restart path (transport poisoning, checkpoint seeding, re-balance)
   # gets a race check too.  The 100-iteration soak target is excluded —
   # the 12-iteration in-suite soak already covers it at TSan speed.
+  # test_profile rides along: the sampler churn test races the SIGPROF
+  # handler against frame pushes, tile counter windows and stop()
+  # aggregation with every thread instrumented.
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
-    test_engine test_hotpath test_monitor test_codegen_passes test_faults
+    test_engine test_hotpath test_monitor test_codegen_passes test_faults \
+    test_profile
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses|Fault|Chaos|Checkpoint|TableState' \
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses|Fault|Chaos|Checkpoint|TableState|Profile|SchemaRegistry' \
     -E 'ChaosSoak.Replay100'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
@@ -242,6 +275,27 @@ print("codegen pass-pipeline speedup:",
 if len(ok) < 2:
     sys.exit("codegen perf gate: >= 1.3x on %d/%d families (need 2)"
              % (len(ok), len(ratios)))
+EOF
+  # Continuous-profiling overhead gate (docs/observability.md): the
+  # sampling profiler + adaptive-stride counter windows must cost < 3%
+  # of edge throughput on the scheduling-bound workload, from the same
+  # archived run (grid_w2 vs grid_w2_prof, both pulled in by the
+  # hotpath/grid_w2 prefix above).  An absolute contract, not a
+  # baseline comparison.
+  python3 - bench-archive/run-latest.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rate = {b["name"]: b["metrics"]["edges_per_s"] for b in doc["benches"]
+        if b["name"].startswith("hotpath/grid_w2")}
+plain, prof = rate.get("hotpath/grid_w2"), rate.get("hotpath/grid_w2_prof")
+if not plain or not prof:
+    sys.exit("profile overhead gate: missing hotpath/grid_w2 or "
+             "hotpath/grid_w2_prof in the archived run")
+overhead = 100.0 * (1.0 - prof / plain)
+print("continuous-profiling overhead: %.2f%% (budget < 3%%)" % overhead)
+if prof < 0.97 * plain:
+    sys.exit("profile overhead gate: profiling costs %.2f%% of edge "
+             "throughput (budget 3%%)" % overhead)
 EOF
   # Checkpoint clean-path overhead gate (docs/fault-tolerance.md): logging
   # every tile completion must cost < 3% of tile throughput on the

@@ -253,6 +253,32 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     ropt.replay_guard = true;
   }
 
+  // Continuous profiling: armed once for the whole run (restart attempts
+  // accumulate into the same document — the cost model wants the total
+  // work, not one attempt's slice).
+  const bool profiling = !options.profile_path.empty();
+  if (profiling) {
+    obs::ProfileOptions popt;
+    popt.hz = options.profile_hz;
+    popt.force_cputime = options.profile_force_cputime;
+    popt.source = "engine";
+    popt.problem = options.profile_problem.empty()
+                       ? model.problem().problem_name()
+                       : options.profile_problem;
+    popt.params = params;
+    obs::Profiler::instance().start(popt);
+    ropt.profile = true;
+  }
+  // A run that throws (non-fault-tolerant failure, restarts exhausted) must
+  // not leave the process-wide profiler armed for the next run.
+  struct ProfilerDisarm {
+    bool armed;
+    ~ProfilerDisarm() {
+      if (armed && obs::Profiler::instance().active())
+        (void)obs::Profiler::instance().stop();
+    }
+  } profiler_disarm{profiling};
+
   int alive = options.ranks;
   int restarts = 0;
   std::vector<int> failed_ranks;
@@ -351,6 +377,24 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     stragglers = monitor->stragglers();
   }
 
+  std::optional<obs::ProfileDoc> profile;
+  if (profiling) {
+    profiler_disarm.armed = false;
+    obs::ProfileDoc doc = obs::Profiler::instance().stop();
+    doc.nranks = alive;
+    if (!doc.families.empty()) {
+      // The Ehrhart prediction for the fleet that finished the run: the
+      // cost table's "predicted cells" column.
+      double predicted = 0.0;
+      for (int r = 0; r < alive; ++r)
+        predicted += static_cast<double>(balancer_storage->owned_work(r));
+      doc.families[0].predicted_cells = predicted;
+    }
+    if (options.profile_path != "-")
+      obs::write_profile_json(options.profile_path, doc);
+    profile = std::move(doc);
+  }
+
   std::optional<obs::AnalysisReport> report;
   if (tracing) {
     // run_node gathered every rank's spans to rank 0, which (in this
@@ -396,6 +440,7 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
   result.restarts = restarts;
   result.failed_ranks = std::move(failed_ranks);
   result.fault_stats = fault_stats;
+  result.profile = std::move(profile);
   return result;
 }
 

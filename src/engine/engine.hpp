@@ -15,6 +15,7 @@
 
 #include "minimpi/faults.hpp"
 #include "obs/analysis.hpp"
+#include "obs/profile.hpp"
 #include "runtime/driver.hpp"
 #include "tiling/balance.hpp"
 #include "tiling/model.hpp"
@@ -131,6 +132,20 @@ struct EngineOptions {
   /// dpgen.checkpoint.v1 file before running — resume an earlier run of
   /// the same problem/params.
   std::string resume_checkpoint_path;
+  /// When non-empty, continuous profiling is enabled for this run: every
+  /// worker thread arms a sampling timer and a hardware-counter group
+  /// (obs/profile.hpp) and the aggregated dpgen.profile.v1 document is
+  /// written here (tools/profile_schema.json).  "-" profiles without
+  /// writing a file (the document still lands in EngineResult::profile).
+  std::string profile_path;
+  /// Sampling frequency per worker thread, Hz (clamped to [1, 10000]).
+  double profile_hz = 97.0;
+  /// Force the counter groups into CLOCK_THREAD_CPUTIME mode even when
+  /// perf events are available (test knob for the degradation path).
+  bool profile_force_cputime = false;
+  /// Label stamped into the profile document (family name for the cost
+  /// table); defaults to "engine" when empty.
+  std::string profile_problem;
 };
 
 struct EngineResult {
@@ -154,6 +169,9 @@ struct EngineResult {
   int restarts = 0;
   std::vector<int> failed_ranks;
   minimpi::FaultStats fault_stats;
+  /// Filled when EngineOptions::profile_path is set: the aggregated
+  /// sampling-profile / cost-model document for this run.
+  std::optional<obs::ProfileDoc> profile;
 
   /// Value at a recorded location; throws when it was not recorded.
   double at(const IntVec& point) const;

@@ -1,0 +1,135 @@
+// perf_event_open group wrapper with CLOCK_THREAD_CPUTIME_ID fallback.
+// See hwcounters.hpp for the degradation ladder.
+
+#include "obs/hwcounters.hpp"
+
+#include <cstring>
+#include <ctime>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define DPGEN_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define DPGEN_HAVE_PERF_EVENT 0
+#endif
+
+namespace dpgen::obs {
+
+namespace {
+
+#if DPGEN_HAVE_PERF_EVENT
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  // User space only: kernel/hypervisor counting needs privileges most
+  // containers do not grant, and the tile kernels are pure user code.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+#endif  // DPGEN_HAVE_PERF_EVENT
+
+std::uint64_t thread_cputime_ns() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+bool HwCounterGroup::perf_available() {
+#if DPGEN_HAVE_PERF_EVENT
+  const int fd =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool HwCounterGroup::open(bool force_cputime) {
+  close();
+#if DPGEN_HAVE_PERF_EVENT
+  if (!force_cputime) {
+    leader_fd_ = perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (leader_fd_ >= 0) {
+      fds_[0] = leader_fd_;
+      read_index_[0] = 0;
+      int next_index = 1;
+      // Siblings are individually optional: a VM that hides LLC misses
+      // still yields cycles/instructions (and so IPC); a missing event
+      // reads as 0 rather than demoting the whole group.
+      static constexpr std::uint64_t kSiblings[kEvents] = {
+          0,  // leader slot
+          PERF_COUNT_HW_INSTRUCTIONS,
+          PERF_COUNT_HW_CACHE_MISSES,
+          PERF_COUNT_HW_BRANCH_MISSES,
+      };
+      for (int e = 1; e < kEvents; ++e) {
+        fds_[e] = perf_open(PERF_TYPE_HARDWARE, kSiblings[e], leader_fd_);
+        if (fds_[e] >= 0) read_index_[e] = next_index++;
+      }
+      cputime_ = false;
+      return true;
+    }
+  }
+#else
+  (void)force_cputime;
+#endif
+  cputime_ = true;
+  return false;
+}
+
+void HwCounterGroup::close() {
+#if DPGEN_HAVE_PERF_EVENT
+  for (int e = 0; e < kEvents; ++e) {
+    if (fds_[e] >= 0) ::close(fds_[e]);
+    fds_[e] = -1;
+    read_index_[e] = -1;
+  }
+  leader_fd_ = -1;
+#endif
+  cputime_ = false;
+}
+
+bool HwCounterGroup::read(HwCounterValues* out) {
+  *out = HwCounterValues{};
+#if DPGEN_HAVE_PERF_EVENT
+  if (leader_fd_ >= 0) {
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in the order
+    // the events joined the group.
+    std::uint64_t buf[1 + kEvents] = {};
+    const auto n = ::read(leader_fd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(2 * sizeof(std::uint64_t))) return true;
+    const auto nr = buf[0];
+    auto value_at = [&](int logical) -> std::uint64_t {
+      const int idx = read_index_[logical];
+      if (idx < 0 || static_cast<std::uint64_t>(idx) >= nr) return 0;
+      return buf[1 + idx];
+    };
+    out->cycles = value_at(0);
+    out->instructions = value_at(1);
+    out->llc_misses = value_at(2);
+    out->branch_misses = value_at(3);
+    return true;
+  }
+#endif
+  if (!cputime_) return false;
+  out->cycles = thread_cputime_ns();
+  return true;
+}
+
+}  // namespace dpgen::obs

@@ -1,0 +1,78 @@
+#pragma once
+// Hardware-counter attribution for tile execution (docs/observability.md,
+// "Continuous profiling").
+//
+// HwCounterGroup wraps one perf_event_open *group* per worker thread —
+// cycles as the leader with instructions / LLC misses / branch misses as
+// siblings — so one read() syscall returns a consistent snapshot of all
+// four and the derived ratios (IPC, misses per cell) are internally
+// coherent.  Counters are per-thread (pid = 0, cpu = -1) and count user
+// space only, which is what unprivileged perf access allows in most
+// containers.
+//
+// Graceful degradation is the design center, not an afterthought: CI
+// containers routinely run with perf_event_paranoid locked down or without
+// the perf syscall at all.  The fallback ladder is
+//
+//   perf group  ->  CLOCK_THREAD_CPUTIME_ID  ->  (profiling off)
+//
+// In cputime mode read() reports thread CPU *nanoseconds* in the `cycles`
+// slot (instructions/misses stay 0, so IPC is undefined and omitted) —
+// the per-cell cost model still works, just in ns/cell instead of
+// cycles/cell, and every emitted dpgen.profile.v1 document names its mode
+// in the `counters` field so consumers never mistake one unit for the
+// other.
+
+#include <cstdint>
+
+namespace dpgen::obs {
+
+/// One point-in-time reading of the group (monotonic totals since open();
+/// callers diff two readings around the region of interest).
+struct HwCounterValues {
+  std::uint64_t cycles = 0;  ///< CPU cycles; thread CPU ns in cputime mode
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// A per-thread counter group.  Not thread-safe: open/read/close must all
+/// happen on the thread being measured (perf events are opened with
+/// pid = 0, i.e. "the calling thread").
+class HwCounterGroup {
+ public:
+  HwCounterGroup() = default;
+  ~HwCounterGroup() { close(); }
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  /// Opens the group on the calling thread.  With `force_cputime` (or when
+  /// the cycles leader cannot be opened) the group runs in cputime mode.
+  /// Returns true when real perf events were opened.
+  bool open(bool force_cputime);
+
+  void close();
+
+  /// True when the group reads real perf events (false = cputime mode).
+  bool perf() const { return leader_fd_ >= 0; }
+
+  /// Reads the group's current totals.  Returns false (zero-filled `out`)
+  /// only if the group was never opened.
+  bool read(HwCounterValues* out);
+
+  /// One-shot process-wide probe: can this process open a perf cycles
+  /// counter on itself?  Used by the profiler to pick the mode once so
+  /// every thread of a run agrees.
+  static bool perf_available();
+
+ private:
+  static constexpr int kEvents = 4;  // cycles, insns, llc, branch
+  int leader_fd_ = -1;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  /// Index of each logical event in the group read buffer (-1 = the event
+  /// failed to open — e.g. LLC misses in a VM — and reads as 0).
+  int read_index_[kEvents] = {-1, -1, -1, -1};
+  bool cputime_ = false;
+};
+
+}  // namespace dpgen::obs

@@ -135,6 +135,13 @@ void Monitor::publish(int rank, const RankSnapshot& snap) {
   b.progress_marker.store(snap.progress_marker, std::memory_order_relaxed);
   b.active_workers.store(snap.active_workers, std::memory_order_relaxed);
   b.workers.store(snap.workers, std::memory_order_relaxed);
+  b.prof_cycles.store(snap.prof_cycles, std::memory_order_relaxed);
+  b.prof_instructions.store(snap.prof_instructions,
+                            std::memory_order_relaxed);
+  b.prof_sampled_cells.store(snap.prof_sampled_cells,
+                             std::memory_order_relaxed);
+  b.prof_sampled_exec_ns.store(snap.prof_sampled_exec_ns,
+                               std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   sl.seq.store(s + 2, std::memory_order_release);
 
@@ -160,6 +167,15 @@ void Monitor::publish(int rank, const RankSnapshot& snap) {
     w.key("progress_marker").value(snap.progress_marker);
     w.key("active_workers").value(snap.active_workers);
     w.key("workers").value(snap.workers);
+    if (snap.prof_cycles > 0) {
+      // Profiled runs only: live counter totals (cycles, or thread CPU ns
+      // in cputime mode) so dpgen-top and log consumers can derive IPC and
+      // cycles/cell without waiting for the final document.
+      w.key("prof_cycles").value(snap.prof_cycles);
+      w.key("prof_instructions").value(snap.prof_instructions);
+      w.key("prof_sampled_cells").value(snap.prof_sampled_cells);
+      w.key("prof_sampled_exec_ns").value(snap.prof_sampled_exec_ns);
+    }
     w.end_object();
     event_line(w.str());
   }
@@ -177,12 +193,21 @@ void Monitor::stall_warning(int rank, const RankSnapshot& snap,
   w.key("rank").value(rank);
   w.key("waited_s").value(waited_s);
   w.key("timeout_s").value(timeout_s);
+  // Full scheduler snapshot: the warning is most useful when the consumer
+  // can see *why* nothing is ready — blocked-sender depth, buffered edges
+  // waiting on missing dependencies, and whether any worker is inside a
+  // kernel at all.
   w.key("executed").value(snap.executed);
+  w.key("executed_cells").value(snap.executed_cells);
   w.key("owned").value(snap.owned);
   w.key("pending_tiles").value(snap.pending_tiles);
   w.key("ready_tiles").value(snap.ready_tiles);
   w.key("buffered_edges").value(snap.buffered_edges);
   w.key("blocked_senders").value(snap.blocked_senders);
+  w.key("bytes_sent").value(snap.bytes_sent);
+  w.key("messages_sent").value(snap.messages_sent);
+  w.key("active_workers").value(snap.active_workers);
+  w.key("workers").value(snap.workers);
   w.key("progress_marker").value(snap.progress_marker);
   w.end_object();
   event_line(w.str());
@@ -237,6 +262,13 @@ RankSnapshot Monitor::latest(int rank) const {
     out.progress_marker = b.progress_marker.load(std::memory_order_relaxed);
     out.active_workers = b.active_workers.load(std::memory_order_relaxed);
     out.workers = b.workers.load(std::memory_order_relaxed);
+    out.prof_cycles = b.prof_cycles.load(std::memory_order_relaxed);
+    out.prof_instructions =
+        b.prof_instructions.load(std::memory_order_relaxed);
+    out.prof_sampled_cells =
+        b.prof_sampled_cells.load(std::memory_order_relaxed);
+    out.prof_sampled_exec_ns =
+        b.prof_sampled_exec_ns.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint32_t s2 = sl.seq.load(std::memory_order_relaxed);
     if (s1 == s2) return out;  // not lapped mid-read

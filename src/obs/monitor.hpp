@@ -86,6 +86,14 @@ struct RankSnapshot {
   /// at its true per-worker speed instead of half of it.
   long long active_workers = 0;
   long long workers = 1;
+  /// Continuous-profiling totals for this rank (obs::Profiler::rank_totals;
+  /// all zero when the run is not profiled).  `prof_cycles` counts thread
+  /// CPU ns instead of cycles when the profiler runs in cputime mode —
+  /// consumers derive IPC only when prof_instructions > 0.
+  long long prof_cycles = 0;
+  long long prof_instructions = 0;
+  long long prof_sampled_cells = 0;
+  long long prof_sampled_exec_ns = 0;
 };
 
 /// A straggler verdict: `rank` completed work at `pace` predicted-cells per
@@ -225,6 +233,10 @@ class Monitor {
     std::atomic<long long> progress_marker{0};
     std::atomic<long long> active_workers{0};
     std::atomic<long long> workers{1};
+    std::atomic<long long> prof_cycles{0};
+    std::atomic<long long> prof_instructions{0};
+    std::atomic<long long> prof_sampled_cells{0};
+    std::atomic<long long> prof_sampled_exec_ns{0};
   };
   struct Slot {
     std::atomic<std::uint32_t> seq{0};  ///< even; (seq >> 1) & 1 = live buf

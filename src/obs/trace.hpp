@@ -66,6 +66,24 @@ bool phase_from_name(const std::string& name, Phase* out);
 /// (the span stays; only the trailing coordinates are lost).
 inline constexpr int kMaxSpanDims = 6;
 
+namespace profdetail {
+
+/// Sampling-profiler frame hooks (defined in profile.cpp; declared here so
+/// ScopedSpan can maintain the per-thread phase stack without trace.hpp
+/// depending on the profiler).  While a Profiler run is active every
+/// ScopedSpan pushes its phase onto a thread-local stack encoded in one
+/// atomic word; the profiler's signal handler reads that word to attribute
+/// each sample — no unwinder, no allocation, one relaxed store per span.
+extern std::atomic<bool> g_frames_on;
+void push_frame(Phase p);
+void pop_frame();
+
+inline bool frames_on() {
+  return g_frames_on.load(std::memory_order_relaxed);
+}
+
+}  // namespace profdetail
+
 /// One recorded interval.  Trivially copyable by design: rank buffers are
 /// serialized with memcpy and shipped through minimpi::Comm::gather.
 struct Span {
@@ -167,8 +185,17 @@ class ScopedSpan {
       : phase_(phase), tile_(tile) {
     Tracer& t = Tracer::instance();
     if (t.enabled()) start_ns_ = t.now_ns();
+    if (profdetail::frames_on()) {
+      profdetail::push_frame(phase);
+      pushed_ = true;
+    }
   }
-  ~ScopedSpan() { close(); }
+  ~ScopedSpan() {
+    close();
+    // The frame outlives close(): samples taken between an early close()
+    // and destruction still belong to this phase.
+    if (pushed_) profdetail::pop_frame();
+  }
 
   /// Ends the span early (idempotent).
   void close() {
@@ -182,6 +209,7 @@ class ScopedSpan {
   Phase phase_;
   const IntVec* tile_;
   std::int64_t start_ns_ = -1;
+  bool pushed_ = false;
 #else
   explicit ScopedSpan(Phase, const IntVec* = nullptr) {}
   void close() {}

@@ -52,6 +52,7 @@
 #include "obs/gather.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "runtime/buffer_pool.hpp"
 #include "runtime/checkpoint.hpp"
@@ -149,6 +150,12 @@ struct RunOptions {
   /// fault-tolerant run whose restart replays sends); off by default so
   /// the clean path stays free of the guard's per-tile set insert.
   bool replay_guard = false;
+  /// Continuous profiling (obs/profile.hpp): worker threads register with
+  /// the process-wide Profiler (sampling timer + counter group each) and
+  /// tile executions feed the adaptive-stride counter windows.  The
+  /// profiler must have been start()ed by the caller (the engine or a
+  /// generated program's main).
+  bool profile = false;
 };
 
 struct RunStats {
@@ -432,6 +439,14 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     s.progress_marker = progress_marker.load(std::memory_order_relaxed);
     s.active_workers = busy_workers.load(std::memory_order_relaxed);
     s.workers = opt.threads;
+    if (opt.profile) {
+      const auto prof = obs::Profiler::instance().rank_totals(rank);
+      s.prof_cycles = static_cast<long long>(prof.cycles);
+      s.prof_instructions = static_cast<long long>(prof.instructions);
+      s.prof_sampled_cells = static_cast<long long>(prof.sampled_cells);
+      s.prof_sampled_exec_ns =
+          static_cast<long long>(prof.sampled_exec_ns);
+    }
     return s;
   };
   // Marker value a stall_warning was already issued for: one warning per
@@ -442,6 +457,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
 
   auto worker = [&](int worker_id) {
     obs::Tracer::set_identity(rank, worker_id);
+    // Profiled runs: arm this worker's sampling timer + counter group for
+    // the duration of the run (no-op when the profiler is inactive).
+    obs::ProfileThreadScope prof_scope(opt.profile, rank, worker_id);
     const int preferred_shard = worker_id % table.shards();
     RunStats local;
     std::vector<S> buffer(static_cast<std::size_t>(hooks.buffer_size()));
@@ -461,6 +479,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     // Set while in an idle stretch (no ready tile): its start time.
     bool idling = false;
     auto idle_since = Clock::now();
+    // Idle spans are recorded retrospectively (no ScopedSpan wraps the
+    // stretch), so the profiler's phase frame is maintained by hand.
+    bool idle_frame = false;
 
     auto poll = [&]() -> bool {
       std::unique_lock<std::mutex> lock(poll_mu, std::try_to_lock);
@@ -496,6 +517,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         if (!idling) {
           idling = true;
           idle_since = Clock::now();
+          idle_frame = obs::profile_frame_push(obs::Phase::kIdle);
         }
         if (poll()) {
           progress_marker.fetch_add(1);
@@ -599,6 +621,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
                         end_ns);
         }
         idling = false;
+        obs::profile_frame_pop(idle_frame);
+        idle_frame = false;
         backoff.reset();
       }
       busy_workers.fetch_add(1, std::memory_order_relaxed);
@@ -606,10 +630,13 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       // Cells are credited at tile *start* so a worker grinding through one
       // expensive tile doesn't read as stalled between heartbeats (cell
       // counts are heavy-tailed; completion-credit is a step function whose
-      // flats the straggler detector would mistake for slowness).
+      // flats the straggler detector would mistake for slowness).  The
+      // profiler's per-tile totals reuse the same count.
+      const Int tile_cells_now = (opt.monitor || opt.profile)
+                                     ? hooks.tile_cells(ready->tile)
+                                     : 0;
       if (opt.monitor)
-        done_cells.fetch_add(hooks.tile_cells(ready->tile),
-                             std::memory_order_relaxed);
+        done_cells.fetch_add(tile_cells_now, std::memory_order_relaxed);
 
       // 2. fresh buffer + unpack stored edges (payloads go back to the
       // pool, where step 4's packs pick them straight up again)
@@ -637,12 +664,19 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       // 3. execute
       {
         obs::ScopedSpan span(obs::Phase::kTileExecute, &ready->tile);
+        const bool prof_window =
+            opt.profile && obs::Profiler::tile_begin();
         const auto t0 = Clock::now();
         hooks.execute_tile(ready->tile, buffer.data());
-        metrics.tile_ns.observe(
+        const std::int64_t exec_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
-                .count());
+                .count();
+        if (opt.profile)
+          obs::Profiler::tile_end(prof_window,
+                                  static_cast<long long>(tile_cells_now),
+                                  exec_ns);
+        metrics.tile_ns.observe(exec_ns);
       }
       hooks.on_tile_executed(ready->tile, buffer.data());
       ++local.tiles_executed;
@@ -761,6 +795,8 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       // condition flips while they wait for peers to finish the last
       // tiles), so the stretch must be closed here: this tail idle is
       // exactly what the load-balance audit attributes imbalance to.
+      obs::profile_frame_pop(idle_frame);
+      idle_frame = false;
       const double idle =
           std::chrono::duration<double>(Clock::now() - idle_since).count();
       local.idle_seconds += idle;

@@ -62,6 +62,17 @@ struct ClusterConfig {
   /// Monitor sampling period in *simulated* seconds (0 = auto: the
   /// predicted makespan split into ~32 samples).
   double monitor_interval_s = 0.0;
+  /// When non-empty, a *synthetic* dpgen.profile.v1 document is derived
+  /// from the simulated timeline and written here (requires
+  /// record_timeline; implied when set): sample counts are DES busy/idle
+  /// time x profile_hz per node, the counter channel reports simulated
+  /// nanoseconds (`counters: "sim"`, `sampler: "synthetic"`).  Lets
+  /// profile consumers (cost table, flame view) be exercised
+  /// deterministically without wall-clock sampling.
+  std::string profile_path;
+  double profile_hz = 997.0;
+  /// Family name stamped into the synthetic profile document.
+  std::string problem_name;
 };
 
 /// One executed tile in the recorded timeline.

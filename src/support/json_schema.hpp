@@ -12,6 +12,8 @@
 // failing report names the offending field.
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,49 @@ inline std::vector<std::string> validate(const Value& schema,
   std::vector<std::string> errors;
   detail::validate_at(schema, document, "", &errors);
   return errors;
+}
+
+// ---- schema registry -----------------------------------------------------
+// Single source of truth mapping every versioned document id the tools
+// emit to its checked-in schema file, so `dpgen-analyze --validate` (and
+// dpgen-bench's validator) resolve the right schema from the document's
+// own `schema` field through one path instead of per-tool special cases.
+
+struct SchemaRegistryEntry {
+  const char* id;    ///< the document's `schema` field value
+  const char* file;  ///< schema filename under tools/
+};
+
+inline constexpr SchemaRegistryEntry kSchemaRegistry[] = {
+    {"dpgen.report.v1", "report_schema.json"},
+    {"dpgen.bench.v1", "bench_schema.json"},
+    {"dpgen.events.v1", "events_schema.json"},
+    {"dpgen.checkpoint.v1", "checkpoint_schema.json"},
+    {"dpgen.profile.v1", "profile_schema.json"},
+};
+
+/// Schema filename for a document id ("" = unknown id).
+inline std::string schema_file_for(const std::string& schema_id) {
+  for (const auto& e : kSchemaRegistry)
+    if (schema_id == e.id) return e.file;
+  return "";
+}
+
+/// Resolves a registry filename to an on-disk path, probing (in order) the
+/// DPGEN_SCHEMA_DIR environment variable, ./tools/ (running from the repo
+/// root) and ../tools/ (running from build/).  Returns "" when no
+/// candidate exists.
+inline std::string find_schema_file(const std::string& file) {
+  std::vector<std::string> candidates;
+  if (const char* dir = std::getenv("DPGEN_SCHEMA_DIR"))
+    candidates.push_back(cat(dir, "/", file));
+  candidates.push_back(cat("tools/", file));
+  candidates.push_back(cat("../tools/", file));
+  for (const auto& c : candidates) {
+    std::ifstream in(c);
+    if (in.good()) return c;
+  }
+  return "";
 }
 
 }  // namespace dpgen::json

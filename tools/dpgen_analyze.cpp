@@ -37,15 +37,18 @@
 //       executed tiles and total bytes/messages must conserve between the
 //       live and post-hoc views).  Exit 1 on any violation or mismatch.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "obs/analysis.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "problems/problems.hpp"
 #include "sim/cluster_sim.hpp"
@@ -77,6 +80,11 @@ struct Options {
   std::string events_in;
   std::string diff_old;
   std::string diff_new;
+  std::string profile_in;    ///< --profile=: analyze a dpgen.profile.v1 doc
+  std::string profile_out;   ///< --profile-out=: profile the engine/sim run
+  double profile_hz = 97.0;
+  bool profile_cputime = false;
+  std::string flame_out;     ///< --flame=: write the HTML icicle view
   bool list = false;
 };
 
@@ -158,15 +166,18 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --problem=NAME [--params=a,b,..] [--ranks=R] [--threads=T]\n"
-      "          [--report=FILE] [--trace-out=FILE]\n"
+      "          [--report=FILE] [--trace-out=FILE] [--profile-out=FILE]\n"
+      "          [--profile-hz=HZ] [--profile-cputime]\n"
       "       %s --problem=NAME --sim [--nodes=N] [--cores=C] "
-      "[--report=FILE]\n"
+      "[--report=FILE] [--profile-out=FILE]\n"
       "       %s --trace=FILE [--problem=NAME --params=..] [--report=FILE]\n"
-      "       %s --validate=REPORT --schema=SCHEMA\n"
+      "       %s --validate=DOC [--schema=SCHEMA]   (schema inferred from "
+      "the doc's id when omitted)\n"
       "       %s --diff OLD.json NEW.json [--report=FILE]\n"
       "       %s --events=FILE [--schema=SCHEMA] [--report=REPORT]\n"
+      "       %s --profile=FILE [--report=REPORT] [--flame=FILE]\n"
       "       %s --list\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -214,20 +225,62 @@ void load_trace(const std::string& path, obs::AnalysisInput* in) {
   }
 }
 
+/// Validates a document through the schema registry: with --schema the
+/// given file is used; without it the document's own `schema` field picks
+/// the checked-in schema (json::kSchemaRegistry), so every v1 document —
+/// report, bench, events, checkpoint, profile — validates through this one
+/// path.  dpgen.events.v1 files are JSONL: each line validates separately.
 int run_validate(const Options& opt) {
-  if (opt.schema_path.empty()) {
-    std::fprintf(stderr,
-                 "dpgen-analyze: --validate needs --schema=FILE\n");
-    return 2;
+  const std::string text = read_file(opt.validate_path);
+  // JSONL detection via the first line: events logs are the only multi-
+  // document files the tools emit.
+  const std::string first_line = text.substr(0, text.find('\n'));
+  json::ValuePtr first = json::parse(first_line.empty() ? text : first_line);
+  const std::string doc_id =
+      first->is(json::Kind::kObject) && first->has("schema")
+          ? first->at("schema").as_string()
+          : "";
+
+  std::string schema_path = opt.schema_path;
+  if (schema_path.empty()) {
+    const std::string file = json::schema_file_for(doc_id);
+    if (file.empty()) {
+      std::fprintf(stderr,
+                   "dpgen-analyze: '%s' has unknown schema id '%s' and no "
+                   "--schema=FILE was given\n",
+                   opt.validate_path.c_str(), doc_id.c_str());
+      return 2;
+    }
+    schema_path = json::find_schema_file(file);
+    if (schema_path.empty()) {
+      std::fprintf(stderr,
+                   "dpgen-analyze: cannot locate %s (set DPGEN_SCHEMA_DIR "
+                   "or run from the repo root)\n",
+                   file.c_str());
+      return 2;
+    }
   }
-  json::ValuePtr schema = json::parse(read_file(opt.schema_path));
-  json::ValuePtr report = json::parse(read_file(opt.validate_path));
-  std::vector<std::string> errors = json::validate(*schema, *report);
+  json::ValuePtr schema = json::parse(read_file(schema_path));
+
+  std::vector<std::string> errors;
+  if (doc_id == "dpgen.events.v1") {
+    long long lineno = 0;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (trim(line).empty()) continue;
+      for (const std::string& e : json::validate(*schema, *json::parse(line)))
+        errors.push_back(cat("line ", lineno, e));
+    }
+  } else {
+    errors = json::validate(*schema, *json::parse(text));
+  }
   for (const std::string& e : errors)
     std::fprintf(stderr, "dpgen-analyze: schema violation %s\n", e.c_str());
   if (errors.empty())
     std::printf("%s: valid (%s)\n", opt.validate_path.c_str(),
-                opt.schema_path.c_str());
+                schema_path.c_str());
   return errors.empty() ? 0 : 1;
 }
 
@@ -435,6 +488,149 @@ int run_events(const Options& opt) {
   return violations == 0 ? 0 : 1;
 }
 
+/// Analyzes a dpgen.profile.v1 document: prints the phase self-time
+/// histogram and the per-family cost table; with --report= cross-checks the
+/// sample attribution against the span-attribution report (exit 1 when a
+/// major phase disagrees by more than 15 percentage points — an attribution
+/// gap one of the two views is missing); with --flame= writes the
+/// self-contained HTML icicle view.
+int run_profile(const Options& opt) {
+  obs::ProfileDoc prof =
+      obs::parse_profile_doc(*json::parse(read_file(opt.profile_in)));
+
+  std::printf(
+      "profile: problem=%s source=%s counters=%s sampler=%s hz=%.0f "
+      "ranks=%d\nsamples: %lld total, %lld untraced, %lld dropped\n",
+      prof.problem.c_str(), prof.source.c_str(), prof.counters.c_str(),
+      prof.sampler.c_str(), prof.hz, prof.nranks, prof.samples_total,
+      prof.samples_untraced, prof.samples_dropped);
+
+  long long attributed = 0;
+  for (int p = 0; p < obs::kProfilePhases; ++p)
+    attributed += prof.phase_samples[static_cast<std::size_t>(p)];
+  std::printf("\nphase self-time (samples):\n");
+  for (int p = 0; p < obs::kProfilePhases; ++p) {
+    const long long n = prof.phase_samples[static_cast<std::size_t>(p)];
+    if (n == 0) continue;
+    std::printf("  %-14s %6.1f%%  (%lld)\n",
+                obs::phase_name(static_cast<obs::Phase>(p)),
+                attributed > 0 ? 100.0 * static_cast<double>(n) /
+                                     static_cast<double>(attributed)
+                               : 0.0,
+                n);
+  }
+
+  // Cost table: measured cost per cell against the Ehrhart prediction.
+  // In cputime mode the "cycles" channel counts thread CPU ns, so the
+  // column is labelled accordingly and IPC is omitted (no instructions).
+  const bool perf = prof.counters == "perf";
+  std::printf("\ncost model (%s):\n", prof.counters.c_str());
+  std::printf("  %-16s %12s %12s %10s %8s %10s\n", "family", "cells",
+              "predicted", perf ? "cyc/cell" : "ns/cell", "ipc",
+              "llc/cell");
+  for (const obs::ProfileFamily& f : prof.families) {
+    std::printf("  %-16s %12lld %12.0f %10.2f %8s %10.4f\n",
+                f.name.c_str(), f.cells, f.predicted_cells,
+                f.cycles_per_cell(),
+                f.ipc() > 0 ? cat(f.ipc()).substr(0, 6).c_str() : "-",
+                f.misses_per_cell());
+  }
+
+  if (!opt.flame_out.empty()) {
+    std::ofstream out(opt.flame_out);
+    DPGEN_CHECK(out.good(),
+                cat("cannot open flame output '", opt.flame_out, "'"));
+    out << obs::profile_flame_html(prof);
+    std::printf("\nflame view written to %s\n", opt.flame_out.c_str());
+  }
+
+  int violations = 0;
+  if (opt.report_path_set) {
+    // Cross-check: the profiler's sample shares against the tracer's span
+    // attribution.  The two measure the same run through independent
+    // channels (statistical samples vs exact span brackets), so a major
+    // phase (>= 10% of report time) drifting more than 15 percentage
+    // points means one view has an attribution gap.  Span phases the
+    // report buckets as "other" (setup work) map load_balance / init_scan
+    // / gather; "compute" maps tile_execute.
+    json::ValuePtr report = json::parse(read_file(opt.report_path));
+    std::map<std::string, double> rep_seconds;
+    double rep_total = 0.0;
+    DPGEN_CHECK(report->has("load_balance") &&
+                    report->at("load_balance").has("ranks"),
+                "report has no load_balance.ranks for the cross-check");
+    for (const json::ValuePtr& rank_audit :
+         report->at("load_balance").at("ranks").as_array()) {
+      const json::Value& ph = rank_audit->at("phases_seconds");
+      for (const auto& [key, val] : ph.fields) {
+        rep_seconds[key] += val->as_number();
+        rep_total += val->as_number();
+      }
+    }
+    std::map<std::string, long long> prof_samples;
+    for (int p = 0; p < obs::kProfilePhases; ++p) {
+      const long long n = prof.phase_samples[static_cast<std::size_t>(p)];
+      const std::string name =
+          obs::phase_name(static_cast<obs::Phase>(p));
+      if (name == "tile_execute")
+        prof_samples["compute"] += n;
+      else if (name == "load_balance" || name == "init_scan" ||
+               name == "gather")
+        prof_samples["other"] += n;
+      else
+        prof_samples[name] += n;
+    }
+    // Two buckets are structurally unobservable by the sampler and are
+    // excluded from both sides before computing shares:
+    //  - "idle": the sampling timers run on wall time and a descheduled
+    //    thread cannot take a signal, so on an oversubscribed host idle
+    //    (mostly descheduled) time is systematically under-sampled.
+    //  - "other" (load_balance / init_scan / gather): setup phases that
+    //    run on the driver thread before the per-worker samplers attach.
+    // Both rows are still printed for context but never gated.
+    const double rep_busy =
+        rep_total - rep_seconds["idle"] - rep_seconds["other"];
+    const double prof_busy = static_cast<double>(
+        attributed - prof_samples["idle"] - prof_samples["other"]);
+    std::printf("\nattribution cross-check (profile vs %s, busy-time "
+                "shares):\n",
+                opt.report_path.c_str());
+    for (const auto& [key, secs] : rep_seconds) {
+      if (key == "idle" || key == "other") {
+        std::printf("  %-14s report %5.1f%%  samples %5.1f%%  "
+                    "(unobservable, not gated)\n",
+                    key.c_str(),
+                    rep_total > 0 ? 100.0 * secs / rep_total : 0.0,
+                    attributed > 0
+                        ? 100.0 * static_cast<double>(prof_samples[key]) /
+                              static_cast<double>(attributed)
+                        : 0.0);
+        continue;
+      }
+      const double rep_share = rep_busy > 0 ? secs / rep_busy : 0.0;
+      const double prof_share =
+          prof_busy > 0
+              ? static_cast<double>(prof_samples[key]) / prof_busy
+              : 0.0;
+      const double diff = std::abs(prof_share - rep_share);
+      const bool major = rep_share >= 0.10;
+      const bool bad = major && diff > 0.15;
+      std::printf("  %-14s report %5.1f%%  samples %5.1f%%  %s\n",
+                  key.c_str(), 100.0 * rep_share, 100.0 * prof_share,
+                  bad ? "MISMATCH" : (major ? "ok" : "minor"));
+      if (bad) ++violations;
+    }
+    if (violations > 0)
+      std::fprintf(stderr,
+                   "dpgen-analyze: %d phase(s) drifted more than 15 "
+                   "percentage points between samples and spans\n",
+                   violations);
+    else
+      std::printf("  sample shares within 15pp of span attribution\n");
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 int run_problem(const Options& opt) {
   const Entry* entry = find_entry(opt.problem);
   if (!entry) {
@@ -451,12 +647,18 @@ int run_problem(const Options& opt) {
     cfg.nodes = opt.nodes;
     cfg.cores_per_node = opt.cores;
     cfg.record_timeline = true;
+    cfg.profile_path = opt.profile_out;
+    cfg.profile_hz = opt.profile_hz;
+    cfg.problem_name = entry->name;
     sim::SimResult res = sim::simulate(model, params, cfg);
     obs::AnalysisReport report =
         obs::analyze(sim::analysis_input(res, model, params, cfg));
     obs::write_report_json(opt.report_path, report);
     std::fputs(obs::report_text(report).c_str(), stdout);
     std::printf("\nreport written to %s\n", opt.report_path.c_str());
+    if (!opt.profile_out.empty())
+      std::printf("synthetic profile written to %s\n",
+                  opt.profile_out.c_str());
     return 0;
   }
 
@@ -465,12 +667,29 @@ int run_problem(const Options& opt) {
   eopt.threads = opt.threads;
   eopt.report_json_path = opt.report_path;
   eopt.trace_json_path = opt.trace_out;
+  eopt.profile_path = opt.profile_out;
+  eopt.profile_hz = opt.profile_hz;
+  eopt.profile_force_cputime = opt.profile_cputime;
+  eopt.profile_problem = entry->name;
   engine::EngineResult result =
       engine::run(model, params, problem.kernel, eopt);
   std::fputs(obs::report_text(*result.report).c_str(), stdout);
   std::printf("\nreport written to %s\n", opt.report_path.c_str());
   if (!opt.trace_out.empty())
     std::printf("trace written to %s\n", opt.trace_out.c_str());
+  if (result.profile) {
+    const obs::ProfileDoc& p = *result.profile;
+    std::printf(
+        "profile: %lld samples (%s counters) over %zu threads",
+        p.samples_total, p.counters.c_str(), p.threads.size());
+    if (!p.families.empty())
+      std::printf(", %.2f %s/cell",
+                  p.families[0].cycles_per_cell(),
+                  p.counters == "perf" ? "cyc" : "ns");
+    std::printf("\n");
+    if (opt.profile_out != "-")
+      std::printf("profile written to %s\n", opt.profile_out.c_str());
+  }
   return 0;
 }
 
@@ -500,6 +719,11 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--validate=")) opt.validate_path = v;
     else if (const char* v = value("--schema=")) opt.schema_path = v;
     else if (const char* v = value("--events=")) opt.events_in = v;
+    else if (const char* v = value("--profile-out=")) opt.profile_out = v;
+    else if (const char* v = value("--profile-hz=")) opt.profile_hz = std::atof(v);
+    else if (arg == "--profile-cputime") opt.profile_cputime = true;
+    else if (const char* v = value("--profile=")) opt.profile_in = v;
+    else if (const char* v = value("--flame=")) opt.flame_out = v;
     else if (const char* v = value("--diff=")) {
       const std::vector<std::string> parts = split(v, ",");
       if (parts.size() != 2) return usage(argv[0]);
@@ -528,6 +752,7 @@ int main(int argc, char** argv) {
     if (!opt.validate_path.empty()) return run_validate(opt);
     if (!opt.events_in.empty()) return run_events(opt);
     if (!opt.diff_old.empty()) return run_diff(opt);
+    if (!opt.profile_in.empty()) return run_profile(opt);
     if (!opt.trace_in.empty()) return run_trace(opt);
     if (!opt.problem.empty()) return run_problem(opt);
   } catch (const std::exception& e) {

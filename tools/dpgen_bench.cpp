@@ -31,8 +31,10 @@
 //       renders the archived series (matching this machine's fingerprint)
 //       into a self-contained HTML page of SVG charts.
 //
-//   dpgen-bench --validate=FILE --schema=tools/bench_schema.json
-//       validates a dpgen.bench.v1 document (exit 1 on violations).
+//   dpgen-bench --validate=FILE [--schema=tools/bench_schema.json]
+//       validates a dpgen.bench.v1 document (exit 1 on violations); the
+//       schema is resolved from the document's own id via the shared
+//       registry (support/json_schema.hpp) when --schema is omitted.
 //
 // --self-test-slowdown=X scales every measured sample by X; the check.sh
 // self-test uses it to prove the gate fires on a synthetic regression.
@@ -90,7 +92,8 @@ int usage(const char* argv0) {
       "          [--min-delta=R] [--mad-factor=K] [--min-abs-delta=S]\n"
       "          [--self-test-slowdown=X]\n"
       "       %s --trend=FILE.html [--archive-dir=DIR]\n"
-      "       %s --validate=FILE --schema=SCHEMA\n"
+      "       %s --validate=FILE [--schema=SCHEMA]   (schema inferred "
+      "from the doc's id when omitted)\n"
       "       %s --list\n",
       argv0, argv0, argv0, argv0);
   return 2;
@@ -115,18 +118,37 @@ std::string baseline_path_for(const Options& opt,
 }
 
 int run_validate(const Options& opt) {
-  if (opt.schema_path.empty()) {
-    std::fprintf(stderr, "dpgen-bench: --validate needs --schema=FILE\n");
-    return 2;
-  }
-  json::ValuePtr schema = json::parse(read_file(opt.schema_path));
   json::ValuePtr doc = json::parse(read_file(opt.validate_path));
+  std::string schema_path = opt.schema_path;
+  if (schema_path.empty()) {
+    // No --schema: resolve from the document's own id through the shared
+    // registry (support/json_schema.hpp), same as dpgen-analyze.
+    const std::string id =
+        doc->has("schema") ? doc->at("schema").as_string() : "";
+    const std::string file = json::schema_file_for(id);
+    if (file.empty()) {
+      std::fprintf(stderr,
+                   "dpgen-bench: document schema id '%s' not in the "
+                   "registry; pass --schema=FILE\n",
+                   id.c_str());
+      return 2;
+    }
+    schema_path = json::find_schema_file(file);
+    if (schema_path.empty()) {
+      std::fprintf(stderr,
+                   "dpgen-bench: cannot locate %s (set DPGEN_SCHEMA_DIR "
+                   "or run from the repo root)\n",
+                   file.c_str());
+      return 2;
+    }
+  }
+  json::ValuePtr schema = json::parse(read_file(schema_path));
   std::vector<std::string> errors = json::validate(*schema, *doc);
   for (const std::string& e : errors)
     std::fprintf(stderr, "dpgen-bench: schema violation %s\n", e.c_str());
   if (errors.empty())
     std::printf("%s: valid (%s)\n", opt.validate_path.c_str(),
-                opt.schema_path.c_str());
+                schema_path.c_str());
   return errors.empty() ? 0 : 1;
 }
 

@@ -15,6 +15,12 @@
 //       (--slow-node=NODE:FACTOR) makes the online detector observable
 //       on demand.
 //
+//   dpgen-top --problem=lcs --profile
+//       engine mode only: runs the sampling profiler alongside the
+//       monitor and adds live ipc / cost-per-cell columns to the table
+//       (from each rank's per-tile counter windows; in the perf-free
+//       cputime fallback the cost column is ns/cell and ipc is "-").
+//
 //   dpgen-top --problem=lcs --faults=kill:1@40 --checkpoint=ckpt.json
 //       engine mode only: replays a deterministic minimpi::FaultPlan
 //       (kill/drop/dup/delay/slow) against the run and flushes the
@@ -71,6 +77,7 @@ struct Options {
   double refresh = 0.2;
   std::string faults;            // FaultPlan text, engine mode only
   std::string checkpoint_path;   // dpgen.checkpoint.v1 JSON flush target
+  bool profile = false;          // live profiler columns, engine mode only
   std::string events_path;
   std::string html_path;
   bool check = false;
@@ -131,7 +138,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --problem=NAME [--params=a,b,..] [--ranks=R] [--threads=T]\n"
       "          [--interval=S] [--refresh=S] [--events=FILE] [--html=FILE]\n"
-      "          [--faults=PLAN] [--checkpoint=FILE] [--check]\n"
+      "          [--faults=PLAN] [--checkpoint=FILE] [--profile] [--check]\n"
       "       %s --problem=NAME --sim [--nodes=N] [--cores=C]\n"
       "          [--slow-node=NODE:FACTOR]... [--interval=S] [--events=FILE]\n"
       "          [--html=FILE] [--check]\n"
@@ -144,9 +151,17 @@ int usage(const char* argv0) {
 
 std::string rank_table(const std::vector<obs::RankSnapshot>& snaps,
                        const std::vector<obs::StragglerFlag>& flags) {
+  // Profiler columns appear once any rank has counter data: ipc is "-"
+  // in the cputime fallback (no instruction counts) and cost/cell is
+  // cycles/cell under perf, ns/cell under cputime.
+  bool prof = false;
+  for (const obs::RankSnapshot& s : snaps)
+    if (s.prof_cycles > 0) prof = true;
   std::string out =
       "rank     executed/owned    %   ready  pending  buffered  blocked"
-      "      bytes   msgs  status\n";
+      "      bytes   msgs";
+  if (prof) out += "    ipc  cost/cell";
+  out += "  status\n";
   for (std::size_t r = 0; r < snaps.size(); ++r) {
     const obs::RankSnapshot& s = snaps[r];
     const char* status = "start";
@@ -158,14 +173,31 @@ std::string rank_table(const std::vector<obs::RankSnapshot>& snaps,
         s.owned > 0 ? 100.0 * static_cast<double>(s.executed) /
                           static_cast<double>(s.owned)
                     : 0.0;
-    char line[200];
+    char line[240];
     std::snprintf(line, sizeof line,
                   "%4zu  %8lld/%-8lld %5.1f  %6lld  %7lld  %8lld  %7lld"
-                  "  %9lld  %5lld  %s\n",
+                  "  %9lld  %5lld",
                   r, s.executed, s.owned, pct, s.ready_tiles,
                   s.pending_tiles, s.buffered_edges, s.blocked_senders,
-                  s.bytes_sent, s.messages_sent, status);
+                  s.bytes_sent, s.messages_sent);
     out += line;
+    if (prof) {
+      if (s.prof_instructions > 0 && s.prof_cycles > 0)
+        std::snprintf(line, sizeof line, "  %5.2f",
+                      static_cast<double>(s.prof_instructions) /
+                          static_cast<double>(s.prof_cycles));
+      else
+        std::snprintf(line, sizeof line, "  %5s", "-");
+      out += line;
+      if (s.prof_sampled_cells > 0)
+        std::snprintf(line, sizeof line, "  %9.2f",
+                      static_cast<double>(s.prof_cycles) /
+                          static_cast<double>(s.prof_sampled_cells));
+      else
+        std::snprintf(line, sizeof line, "  %9s", "-");
+      out += line;
+    }
+    out += cat("  ", status, "\n");
   }
   return out;
 }
@@ -306,6 +338,12 @@ int run_engine_top(const Options& opt, const Entry& entry,
     eopt.checkpoint_json_path = opt.checkpoint_path;
     eopt.checkpoint_every_tiles = 8;
   }
+  if (opt.profile) {
+    eopt.profile_path = "-";  // collect, don't write
+    // Interactive runs are short; sample fast enough that the live
+    // table has data on the first refresh.
+    eopt.profile_hz = 997.0;
+  }
 
   std::atomic<bool> done{false};
   engine::EngineResult result;
@@ -377,6 +415,15 @@ int run_engine_top(const Options& opt, const Entry& entry,
                  "dpgen-top: straggler: rank %d pace=%.4g median=%.4g "
                  "lag=%.0f%%\n",
                  f.rank, f.pace, f.median_pace, f.lag * 100.0);
+  if (result.profile) {
+    const obs::ProfileDoc& doc = *result.profile;
+    double cost = 0.0;
+    if (!doc.families.empty() && doc.families[0].sampled_cells > 0)
+      cost = static_cast<double>(doc.families[0].cycles) /
+             static_cast<double>(doc.families[0].sampled_cells);
+    std::printf("profile samples=%lld counters=%s cost_per_cell=%.2f\n",
+                doc.samples_total, doc.counters.c_str(), cost);
+  }
   if (!opt.html_path.empty() && !hist.t_labels.empty())
     write_html(opt.html_path, title, hist,
                "run complete\n", result.stragglers, false, opt.refresh);
@@ -519,6 +566,7 @@ int main(int argc, char** argv) {
     else if (const char* v = value("--checkpoint=")) opt.checkpoint_path = v;
     else if (const char* v = value("--events=")) opt.events_path = v;
     else if (const char* v = value("--html=")) opt.html_path = v;
+    else if (arg == "--profile") opt.profile = true;
     else if (arg == "--check") opt.check = true;
     else if (arg == "--list") opt.list = true;
     else return usage(argv[0]);
@@ -535,10 +583,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (opt.problem.empty()) return usage(argv[0]);
-  if (opt.sim && (!opt.faults.empty() || !opt.checkpoint_path.empty())) {
+  if (opt.sim &&
+      (!opt.faults.empty() || !opt.checkpoint_path.empty() || opt.profile)) {
     std::fprintf(stderr,
-                 "dpgen-top: --faults/--checkpoint need the live engine "
-                 "(drop --sim)\n");
+                 "dpgen-top: --faults/--checkpoint/--profile need the live "
+                 "engine (drop --sim)\n");
     return 2;
   }
   const Entry* entry = find_entry(opt.problem);
