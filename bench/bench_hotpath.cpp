@@ -40,12 +40,14 @@ struct HotpathRow {
 };
 
 HotpathRow run_once(const tiling::TilingModel& model, Int n, int ranks,
-                    bool monitored = false, bool profiled = false) {
+                    bool monitored = false, bool profiled = false,
+                    bool msgtraced = false) {
   engine::EngineOptions opt;
   opt.ranks = ranks;
   opt.threads = 1;
   if (monitored) opt.monitor_path = "-";  // live telemetry, no event log
   if (profiled) opt.profile_path = "-";   // sampling profiler, no document
+  if (msgtraced) opt.msgtrace_json_path = "-";  // collect records, no doc
   std::int64_t alloc0 = counter_value("runtime.edge_alloc");
   std::int64_t hit0 = counter_value("runtime.pool_hit");
   auto r = engine::run(model, {n}, [](const engine::Cell& c) {
@@ -95,12 +97,12 @@ double table_deliver_pop_once(Int n) {
 /// dpgen-bench entries: the same workloads as the table, at sizes small
 /// enough for repeated gated trials.
 obs::BenchSample hotpath_sample(Int width, Int n, int ranks,
-                                bool monitored = false,
-                                bool profiled = false) {
+                                bool monitored = false, bool profiled = false,
+                                bool msgtraced = false) {
   tiling::TilingModel model(grid_spec(width));
   std::int64_t bytes0 =
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value();
-  HotpathRow row = run_once(model, n, ranks, monitored, profiled);
+  HotpathRow row = run_once(model, n, ranks, monitored, profiled, msgtraced);
   const double bytes_on_wire = static_cast<double>(
       obs::MetricsRegistry::instance().counter("comm.bytes_sent").value() -
       bytes0);
@@ -135,6 +137,13 @@ obs::BenchSample hotpath_sample(Int width, Int n, int ranks,
   // per span plus an adaptive-stride counter read (most tiles skip it).
   register_bench("hotpath/grid_w2_prof",
                  [] { return hotpath_sample(2, 255, 1, false, true); });
+  // The 2-rank workload with message tracing on: guards the "msgtrace
+  // costs < 3% edge throughput" budget (ISSUE 10).  Compare against
+  // grid_w2_r2 — grid_w2 is single-rank and sends no messages, so it
+  // would measure nothing.  The steady-state cost is six steady-clock
+  // stamps plus one ring store per remote edge.
+  register_bench("hotpath/grid_w2_msgtrace",
+                 [] { return hotpath_sample(2, 255, 2, false, false, true); });
   register_bench("hotpath/table_deliver_pop", [] {
     obs::BenchSample s;
     const Int n = 64;

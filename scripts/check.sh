@@ -97,6 +97,51 @@ build/tools/dpgen-top --problem=lcs --params=96,96 --ranks=2 --threads=2 \
   --profile --check | grep -q "profile samples="
 echo "continuous-profiling smoke passed"
 
+echo "==== msgtrace smoke (causal message tracing + conservation)"
+# Two bundled problems with message tracing on: each dpgen.msgtrace.v1
+# document must validate through the schema registry (no --schema: resolved
+# from the document's own id) and pass the conservation re-check (every
+# assigned sequence number delivered, per-link queueing buckets summing to
+# the end-to-end latency — exit 1 otherwise).  The lcs leg also renders the
+# per-message waterfall.
+rm -rf build/msgtrace-smoke && mkdir -p build/msgtrace-smoke
+for p in "lcs:96,96" "edit_distance:96,96"; do
+  name="${p%%:*}"; params="${p#*:}"
+  build/tools/dpgen-analyze --problem="$name" --params="$params" \
+    --ranks=2 --threads=2 --report="build/msgtrace-smoke/${name}.report.json" \
+    --msgtrace-out="build/msgtrace-smoke/${name}.mt.json" > /dev/null
+  build/tools/dpgen-analyze --validate="build/msgtrace-smoke/${name}.mt.json"
+  build/tools/dpgen-analyze --validate="build/msgtrace-smoke/${name}.report.json"
+done
+build/tools/dpgen-analyze --msgtrace=build/msgtrace-smoke/lcs.mt.json \
+  --waterfall=build/msgtrace-smoke/lcs.waterfall.html
+test -s build/msgtrace-smoke/lcs.waterfall.html
+build/tools/dpgen-analyze --msgtrace=build/msgtrace-smoke/edit_distance.mt.json
+# The simulator's DES emits the same document (lossless delivery, so
+# conservation must account by construction).
+build/tools/dpgen-analyze --problem=lcs --params=96,96 --sim --nodes=2 \
+  --cores=2 --report=build/msgtrace-smoke/sim.report.json \
+  --msgtrace-out=build/msgtrace-smoke/sim.mt.json > /dev/null
+build/tools/dpgen-analyze --validate=build/msgtrace-smoke/sim.mt.json
+build/tools/dpgen-analyze --msgtrace=build/msgtrace-smoke/sim.mt.json
+# Chaos leg: a seeded drop: plan loses messages on purpose; the fault
+# plan's counters flow into the document as expected drops, so the
+# conservation checker must still exit green ("accounted", not "lost").
+build/tools/dpgen-analyze --problem=lcs --params=96,96 --ranks=2 \
+  --threads=2 --faults='drop:1>0@3' \
+  --report=build/msgtrace-smoke/drop.report.json \
+  --msgtrace-out=build/msgtrace-smoke/drop.mt.json > /dev/null
+build/tools/dpgen-analyze --msgtrace=build/msgtrace-smoke/drop.mt.json
+python3 - build/msgtrace-smoke/drop.mt.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc["expected_drops"] < 1:
+    sys.exit("chaos msgtrace leg: the drop: plan fired no drops")
+if not doc["conservation"]["accounted"]:
+    sys.exit("chaos msgtrace leg: conservation did not account")
+EOF
+echo "msgtrace smoke passed"
+
 echo "==== chaos smoke (fault injection + checkpoint restart)"
 # A seeded mid-run rank kill through dpgen-top: the run must recover via a
 # checkpoint restart (exactly one failure/restart pair in the summary), the
@@ -217,11 +262,14 @@ if [[ "${1:-}" != "--quick" ]]; then
   # test_profile rides along: the sampler churn test races the SIGPROF
   # handler against frame pushes, tile counter windows and stop()
   # aggregation with every thread instrumented.
+  # test_msgtrace rides along: its end-to-end cases stamp message
+  # envelopes from every worker thread over the sharded tile table, so
+  # the lifecycle stamps and per-thread record rings get a race check.
   cmake --build build-tsan --target test_minimpi test_runtime test_obs \
     test_engine test_hotpath test_monitor test_codegen_passes test_faults \
-    test_profile
+    test_profile test_msgtrace
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses|Fault|Chaos|Checkpoint|TableState|Profile|SchemaRegistry' \
+    -R 'MiniMpi|Runtime|Obs|Engine|Tracer|Metrics|Export|Hotpath|Monitor|CodegenPasses|Fault|Chaos|Checkpoint|TableState|Profile|SchemaRegistry|MsgTrace' \
     -E 'ChaosSoak.Replay100'
 
   echo "==== DPGEN_TRACE=0 pass (tracing compiled out)"
@@ -295,6 +343,26 @@ overhead = 100.0 * (1.0 - prof / plain)
 print("continuous-profiling overhead: %.2f%% (budget < 3%%)" % overhead)
 if prof < 0.97 * plain:
     sys.exit("profile overhead gate: profiling costs %.2f%% of edge "
+             "throughput (budget 3%%)" % overhead)
+EOF
+  # Message-tracing overhead gate (docs/observability.md): stamping and
+  # recording every message lifecycle must cost < 3% of edge throughput.
+  # The baseline is grid_w2_r2, NOT grid_w2 — the single-rank workload
+  # sends no messages, so it would measure nothing.  Both entries come in
+  # through the hotpath/grid_w2 prefix above.
+  python3 - bench-archive/run-latest.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rate = {b["name"]: b["metrics"]["edges_per_s"] for b in doc["benches"]
+        if b["name"].startswith("hotpath/grid_w2")}
+plain, mt = rate.get("hotpath/grid_w2_r2"), rate.get("hotpath/grid_w2_msgtrace")
+if not plain or not mt:
+    sys.exit("msgtrace overhead gate: missing hotpath/grid_w2_r2 or "
+             "hotpath/grid_w2_msgtrace in the archived run")
+overhead = 100.0 * (1.0 - mt / plain)
+print("message-tracing overhead: %.2f%% (budget < 3%%)" % overhead)
+if mt < 0.97 * plain:
+    sys.exit("msgtrace overhead gate: tracing costs %.2f%% of edge "
              "throughput (budget 3%%)" % overhead)
 EOF
   # Checkpoint clean-path overhead gate (docs/fault-tolerance.md): logging

@@ -7,6 +7,7 @@
 #include "engine/decisions.hpp"
 #include "engine/interpret.hpp"
 #include "obs/export.hpp"
+#include "obs/msgtrace.hpp"
 #include "support/str.hpp"
 
 namespace dpgen::engine {
@@ -204,6 +205,16 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     tracer.clear();
     tracer.set_enabled(true);
   }
+  // Message tracing is independent of span tracing (either can run alone);
+  // the records feed the msgtrace document, the report's msgtrace section
+  // and the exported trace's flow events.
+  const bool msg_tracing = !options.msgtrace_json_path.empty();
+  obs::MsgTracer& msg_tracer = obs::MsgTracer::instance();
+  const bool msg_was_enabled = msg_tracer.enabled();
+  if (msg_tracing) {
+    msg_tracer.clear();
+    msg_tracer.set_enabled(true);
+  }
 
   Recorder recorder;
   recorder.record_all = options.record_all;
@@ -332,6 +343,11 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
       transport = injector;
     }
 
+    // Each attempt gets a fresh World (per-link sequence counters restart
+    // from 0), so stale records from an aborted attempt must not pollute
+    // the final attempt's conservation accounting.
+    if (msg_tracing) msg_tracer.clear();
+
     world.emplace(alive, options.mailbox_capacity, transport);
     rank_stats.assign(static_cast<std::size_t>(alive), {});
     try {
@@ -395,6 +411,31 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     profile = std::move(doc);
   }
 
+  std::vector<obs::MsgRecord> msg_records;
+  std::uint64_t msg_dropped = 0;
+  if (msg_tracing) {
+    // run_node gathered every rank's records to rank 0 (the shared
+    // in-process tracer), mirroring the span gather.
+    msg_records = msg_tracer.merged();
+    msg_dropped = msg_tracer.dropped();
+    if (options.msgtrace_json_path != "-") {
+      obs::MsgTraceInput min;
+      min.records = msg_records;
+      min.nranks = alive;
+      min.sent_matrix = world->sent_matrix();
+      min.records_dropped = msg_dropped;
+      min.expected_drops = fault_stats.messages_dropped;
+      min.expected_dups = fault_stats.messages_duplicated;
+      for (const auto& s : rank_stats)
+        min.table_duplicates += s.table.duplicate_edges;
+      min.source = "engine";
+      min.problem = model.problem().problem_name();
+      min.params = params;
+      obs::write_msgtrace_json(options.msgtrace_json_path, min);
+    }
+    msg_tracer.set_enabled(msg_was_enabled);
+  }
+
   std::optional<obs::AnalysisReport> report;
   if (tracing) {
     // run_node gathered every rank's spans to rank 0, which (in this
@@ -404,7 +445,8 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
     for (const obs::Span& s : tracer.collect_rank(-1)) spans.push_back(s);
     const std::uint64_t dropped = tracer.dropped();
     if (!options.trace_json_path.empty())
-      obs::write_chrome_trace(options.trace_json_path, spans, dropped);
+      obs::write_chrome_trace(options.trace_json_path, spans, dropped,
+                              msg_records);
     if (!options.report_json_path.empty()) {
       // The report covers the attempt that finished: the last balancer,
       // world and rank count (smaller than options.ranks after a kill).
@@ -421,6 +463,8 @@ EngineResult run(const tiling::TilingModel& model, const IntVec& params,
       in.source = "engine";
       in.problem = model.problem().problem_name();
       in.params = params;
+      in.msg_records = msg_records;
+      in.msg_records_dropped = msg_dropped;
       report = obs::analyze(in);
       obs::write_report_json(options.report_json_path, *report);
     }

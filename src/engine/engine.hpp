@@ -95,6 +95,15 @@ struct EngineOptions {
   /// — is written here as JSON; the same report lands in
   /// EngineResult::report.
   std::string report_json_path;
+  /// When non-empty, causal message tracing is enabled for this run: every
+  /// data-plane message carries a lifecycle envelope (pack / send / admit /
+  /// deliver / unpack / dispatch stamps) and the dpgen.msgtrace.v1
+  /// document — per-link conservation accounting plus the queueing-delay
+  /// decomposition — is written here.  "-" collects records (they feed
+  /// the report's msgtrace section and the trace's flow events) without
+  /// writing the document.  After a checkpoint restart the document covers
+  /// the attempt that finished, matching the report.
+  std::string msgtrace_json_path;
   /// When non-empty, live telemetry is enabled for this run: per-rank
   /// heartbeats, scheduler snapshots and online straggler detection are
   /// appended here as dpgen.events.v1 JSONL (see docs/observability.md).

@@ -98,6 +98,7 @@ class FaultInjector final : public Transport {
   bool would_block(int dst) const override {
     return inner_->would_block(dst);
   }
+  std::size_t depth(int rank) const override { return inner_->depth(rank); }
   void wait_capacity(int src, int dst) override;
 
   bool probe(int rank, int* src, int* tag) override;

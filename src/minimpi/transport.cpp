@@ -1,5 +1,6 @@
 #include "minimpi/transport.hpp"
 
+#include "obs/msgtrace.hpp"
 #include "support/str.hpp"
 
 namespace dpgen::minimpi {
@@ -61,10 +62,17 @@ PostResult InProcessTransport::try_post(int src, int dst, Message& m) {
     std::lock_guard<std::mutex> lock(b.mu);
     if (capacity_ > 0 && b.queue.size() >= capacity_)
       return PostResult::kFull;
+    if (m.env.seq >= 0) m.env.admit_ns = obs::MsgTracer::now_ns();
     b.queue.push_back(std::move(m));
   }
   b.not_empty.notify_one();
   return PostResult::kDelivered;
+}
+
+std::size_t InProcessTransport::depth(int rank) const {
+  Mailbox& b = box(rank);
+  std::lock_guard<std::mutex> lock(b.mu);
+  return b.queue.size();
 }
 
 bool InProcessTransport::would_block(int dst) const {
@@ -136,6 +144,8 @@ void InProcessTransport::force_post(int dst, Message&& m) {
   Mailbox& b = box(dst);
   {
     std::lock_guard<std::mutex> lock(b.mu);
+    // Delayed / duplicated reinjections admit now, not when first posted.
+    if (m.env.seq >= 0) m.env.admit_ns = obs::MsgTracer::now_ns();
     b.queue.push_back(std::move(m));
   }
   b.not_empty.notify_one();

@@ -32,11 +32,26 @@
 
 namespace dpgen::minimpi {
 
+/// Lifecycle envelope riding alongside the payload (never inside it — the
+/// wire bytes and the computed result stay identical with tracing on or
+/// off).  Sender and transport fill it in as the message moves; the
+/// receiver completes it into an obs::MsgRecord.  All stamps share the
+/// span tracer's steady clock.  seq < 0 means untraced (tracing disabled,
+/// or a control-plane/collective message).
+struct MsgEnvelope {
+  std::int64_t seq = -1;      ///< per-link (src -> dst) sequence number
+  std::int64_t pack_ns = 0;   ///< sender: payload encode started
+  std::int64_t send_ns = 0;   ///< sender: first handed to the transport
+  std::int64_t admit_ns = 0;  ///< transport: admitted to dst's mailbox
+  std::int16_t src_thread = 0;
+};
+
 /// One delivered message: source rank, user tag and a byte payload.
 struct Message {
   int source = -1;
   int tag = 0;
   std::vector<std::uint8_t> payload;
+  MsgEnvelope env;
 };
 
 /// Thrown by every transport operation once the transport has failed (a
@@ -75,6 +90,14 @@ class Transport {
   /// kFull right now.  Racy by nature (another sender can change the
   /// answer immediately); purely an optimisation to skip payload copies.
   virtual bool would_block(int dst) const = 0;
+
+  /// Current depth of `rank`'s mailbox — a backpressure gauge for the
+  /// monitor, racy like would_block.  Transports without a queue to
+  /// inspect report 0.
+  virtual std::size_t depth(int rank) const {
+    (void)rank;
+    return 0;
+  }
 
   /// Blocks until dst's mailbox has space — or the transport fails, in
   /// which case TransportFailure is thrown.
@@ -151,6 +174,7 @@ class InProcessTransport final : public Transport {
 
   PostResult try_post(int src, int dst, Message& m) override;
   bool would_block(int dst) const override;
+  std::size_t depth(int rank) const override;
   void wait_capacity(int src, int dst) override;
 
   bool probe(int rank, int* src, int* tag) override;

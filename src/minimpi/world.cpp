@@ -92,6 +92,15 @@ std::vector<std::vector<std::uint64_t>> World::messages_matrix() const {
   return m;
 }
 
+std::vector<std::vector<std::uint64_t>> World::sent_matrix() const {
+  std::vector<std::vector<std::uint64_t>> m(comms_.size());
+  for (std::size_t src = 0; src < comms_.size(); ++src)
+    for (std::size_t dst = 0; dst < comms_.size(); ++dst)
+      m[src].push_back(comms_[src]->peers_[dst].data_seq.load(
+          std::memory_order_relaxed));
+  return m;
+}
+
 int Comm::size() const { return world_->size(); }
 
 Transport& Comm::transport() { return *world_->transport_; }
@@ -165,13 +174,15 @@ bool Comm::try_send(int dst, int tag, const void* data, std::size_t bytes) {
   return true;
 }
 
-bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload) {
+bool Comm::try_send(int dst, int tag, std::vector<std::uint8_t>& payload,
+                    const MsgEnvelope* env) {
   DPGEN_CHECK(dst >= 0 && dst < size(), cat("send to invalid rank ", dst));
   Transport& t = transport();
   const std::size_t bytes = payload.size();
   Message m;
   m.source = rank_;
   m.tag = tag;
+  if (env) m.env = *env;
   m.payload = std::move(payload);
   if (t.try_post(rank_, dst, m) == PostResult::kFull) {
     payload = std::move(m.payload);  // untouched for the caller's retry
@@ -187,6 +198,8 @@ bool Comm::iprobe(int* src, int* tag) {
 }
 
 std::optional<Message> Comm::try_recv() { return transport().collect(rank_); }
+
+std::size_t Comm::mailbox_depth() { return transport().depth(rank_); }
 
 Message Comm::recv() { return transport().collect_blocking(rank_); }
 

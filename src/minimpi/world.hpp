@@ -107,8 +107,23 @@ class Comm {
 
   /// Move-in variant of try_send: on success the payload is moved into
   /// the mailbox (and left empty); on failure it is untouched, so a
-  /// retry loop keeps using the same buffer.
-  bool try_send(int dst, int tag, std::vector<std::uint8_t>& payload);
+  /// retry loop keeps using the same buffer.  When `env` is non-null the
+  /// message carries that lifecycle envelope (causal message tracing);
+  /// retries of the same message must reuse the same envelope so the
+  /// sequence number is assigned exactly once.
+  bool try_send(int dst, int tag, std::vector<std::uint8_t>& payload,
+                const MsgEnvelope* env = nullptr);
+
+  /// Assigns the next data-plane sequence number for the `rank() -> dst`
+  /// link.  Call once per traced message, before the send retry loop.
+  std::int64_t next_seq(int dst) {
+    return static_cast<std::int64_t>(
+        peers_[static_cast<std::size_t>(dst)].data_seq.fetch_add(
+            1, std::memory_order_relaxed));
+  }
+
+  /// Current depth of this rank's own mailbox (backpressure gauge).
+  std::size_t mailbox_depth();
 
   /// True when a message is waiting; fills src/tag when non-null.
   bool iprobe(int* src = nullptr, int* tag = nullptr);
@@ -185,6 +200,10 @@ class Comm {
   struct PeerStats {
     std::atomic<std::uint64_t> messages{0};
     std::atomic<std::uint64_t> bytes{0};
+    /// Traced data-plane sequence counter (next_seq); counts only
+    /// messages that were assigned an envelope, so it matches the
+    /// msgtrace document's per-link `sent` exactly.
+    std::atomic<std::uint64_t> data_seq{0};
     obs::Counter* messages_counter = nullptr;
     obs::Counter* bytes_counter = nullptr;
   };
@@ -229,6 +248,9 @@ class World {
   /// matrix the performance report renders (obs/analysis.hpp).
   std::vector<std::vector<std::uint64_t>> bytes_matrix() const;
   std::vector<std::vector<std::uint64_t>> messages_matrix() const;
+  /// Traced data-plane sends per link (sequence numbers assigned via
+  /// Comm::next_seq) — the msgtrace conservation baseline.
+  std::vector<std::vector<std::uint64_t>> sent_matrix() const;
 
   /// Runs fn(comm) on every rank, each on its own thread, and joins them.
   /// The first exception thrown by any rank is rethrown here.

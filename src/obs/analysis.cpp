@@ -401,6 +401,115 @@ AnalysisReport analyze(const AnalysisInput& input) {
   for (const auto& row : report.messages_matrix)
     for (std::uint64_t v : row) report.total_messages += v;
 
+  // ---- (4) measured message path ------------------------------------------
+  report.msg_records = input.msg_records.size();
+  report.msg_records_dropped = input.msg_records_dropped;
+  if (!input.msg_records.empty()) {
+    report.queueing = decompose(input.msg_records);
+    if (input.msg_records_dropped > 0)
+      report.warnings.push_back(
+          cat(input.msg_records_dropped,
+              " message records were dropped (ring overflow): the measured "
+              "path and conservation accounting are incomplete"));
+  }
+  if (!input.msg_records.empty() && !exec_spans.empty()) {
+    const Span* terminal = exec_spans.front();
+    for (const Span* s : exec_spans)
+      if (s->end_ns > terminal->end_ns) terminal = s;
+    const std::size_t span_dim = span_tile(*terminal).size();
+    // Offsets indexed by edge id, in span-coordinate space (empty entry =
+    // that edge is unusable for the walk).
+    std::vector<IntVec> edge_off(input.edge_offsets.size());
+    for (std::size_t e = 0; e < input.edge_offsets.size(); ++e)
+      if (input.edge_offsets[e].size() >= span_dim)
+        edge_off[e].assign(
+            input.edge_offsets[e].begin(),
+            input.edge_offsets[e].begin() +
+                static_cast<std::ptrdiff_t>(span_dim));
+    // Delivered records grouped by consumer tile; arrival() resolves one
+    // (consumer, edge) dependency to its latest delivery stamp.
+    std::unordered_map<IntVec, std::vector<const MsgRecord*>, IntVecHash>
+        delivered;
+    for (const MsgRecord& m : input.msg_records) {
+      IntVec c(static_cast<std::size_t>(m.ncoord));
+      for (std::uint8_t k = 0; k < m.ncoord; ++k)
+        c[k] = static_cast<Int>(m.consumer[k]);
+      if (c.size() == span_dim) delivered[c].push_back(&m);
+    }
+    auto arrival = [&](const IntVec& consumer,
+                       int edge) -> const MsgRecord* {
+      auto it = delivered.find(consumer);
+      if (it == delivered.end()) return nullptr;
+      const MsgRecord* best = nullptr;
+      for (const MsgRecord* m : it->second)
+        if (m->edge == edge && (!best || m->deliver_ns > best->deliver_ns))
+          best = m;
+      return best;
+    };
+
+    // Same walk as (1), but the binding predecessor is the dependency
+    // that *arrived* last: remote edges at their measured delivery,
+    // local edges at the producer's execute end.
+    std::vector<const Span*> path_rev{terminal};
+    std::unordered_set<IntVec, IntVecHash> visited{span_tile(*terminal)};
+    IntVec cur = span_tile(*terminal);
+    while (true) {
+      const Span* best = nullptr;
+      IntVec best_tile;
+      std::int64_t best_arrival = 0;
+      for (std::size_t e = 0; e < edge_off.size(); ++e) {
+        if (edge_off[e].empty()) continue;
+        IntVec pred = vec_add(cur, edge_off[e]);
+        auto it = exec_by_tile.find(pred);
+        if (it == exec_by_tile.end() || visited.count(pred)) continue;
+        const Span* cand = exec_spans[it->second];
+        const MsgRecord* rec = arrival(cur, static_cast<int>(e));
+        const std::int64_t t = rec ? rec->deliver_ns : cand->end_ns;
+        if (!best || t > best_arrival) {
+          best = cand;
+          best_tile = pred;
+          best_arrival = t;
+        }
+      }
+      if (!best) break;
+      path_rev.push_back(best);
+      visited.insert(best_tile);
+      cur = std::move(best_tile);
+    }
+    std::reverse(path_rev.begin(), path_rev.end());
+
+    // Identical attribution mechanics to (1), so the two paths' phase
+    // shares are directly comparable.
+    std::int64_t prev_end = run_start;
+    for (const Span* s : path_rev) {
+      CriticalPathStep step;
+      step.tile = span_tile(*s);
+      step.rank = s->rank;
+      step.thread = s->thread;
+      step.start_s =
+          static_cast<double>(s->start_ns - run_start) / kNsPerSec;
+      step.end_s = static_cast<double>(s->end_ns - run_start) / kNsPerSec;
+      step.gap_before_s =
+          static_cast<double>(std::max<std::int64_t>(0, s->start_ns -
+                                                            prev_end)) /
+          kNsPerSec;
+      auto it = tracks.find({s->rank, s->thread});
+      if (it != tracks.end())
+        attribute_window(it->second, prev_end, s->start_ns,
+                         &report.measured_attribution);
+      report.measured_attribution.compute +=
+          static_cast<double>(s->end_ns - std::max(s->start_ns, prev_end)) /
+          kNsPerSec;
+      prev_end = std::max(prev_end, s->end_ns);
+      report.measured_path.push_back(std::move(step));
+    }
+    report.measured_coverage =
+        report.makespan_s > 0
+            ? report.measured_attribution.total() / report.makespan_s
+            : 1.0;
+    report.measured_path_valid = true;
+  }
+
   return report;
 }
 
@@ -446,7 +555,36 @@ std::string report_json(const AnalysisReport& r) {
   out += cat("]},\n\"comm_matrix\":{\"bytes\":", json_matrix(r.bytes_matrix),
              ",\"messages\":", json_matrix(r.messages_matrix),
              ",\"total_bytes\":", r.total_bytes,
-             ",\"total_messages\":", r.total_messages, "}}\n");
+             ",\"total_messages\":", r.total_messages, "}");
+  if (r.msg_records > 0 || r.measured_path_valid) {
+    // Additive: pre-msgtrace consumers never see this object.
+    const MsgQueueing& q = r.queueing;
+    auto secs = [](std::int64_t ns) {
+      return num(static_cast<double>(ns) / 1e9);
+    };
+    out += cat(",\n\"msgtrace\":{\"messages\":", r.msg_records,
+               ",\"records_dropped\":", r.msg_records_dropped,
+               ",\"queueing_seconds\":{\"pack\":", secs(q.pack_ns),
+               ",\"sender_blocked\":", secs(q.sender_blocked_ns),
+               ",\"queue\":", secs(q.queue_ns),
+               ",\"unpack_wait\":", secs(q.unpack_wait_ns),
+               ",\"dispatch\":", secs(q.dispatch_ns),
+               ",\"end_to_end\":", secs(q.total()),
+               "},\"measured_path\":{\"tiles\":[");
+    for (std::size_t i = 0; i < r.measured_path.size(); ++i) {
+      const CriticalPathStep& s = r.measured_path[i];
+      out += cat(i ? ",\n" : "", "{\"tile\":", json_vec(s.tile),
+                 ",\"rank\":", s.rank, ",\"thread\":", s.thread,
+                 ",\"start_s\":", num(s.start_s), ",\"end_s\":", num(s.end_s),
+                 ",\"gap_before_s\":", num(s.gap_before_s), "}");
+    }
+    out += cat("],\"length\":", r.measured_path.size(),
+               ",\"attribution_seconds\":",
+               json_breakdown(r.measured_attribution),
+               ",\"coverage\":", num(r.measured_coverage),
+               ",\"valid\":", r.measured_path_valid ? "true" : "false", "}}");
+  }
+  out += "}\n";
   return out;
 }
 
@@ -508,6 +646,33 @@ std::string report_text(const AnalysisReport& r) {
       out += "\n";
     }
   }
+
+  if (r.msg_records > 0) {
+    const MsgQueueing& q = r.queueing;
+    const std::int64_t e2e = q.total();
+    out += cat("\nmessage tracing: ", r.msg_records, " records");
+    if (r.msg_records_dropped > 0)
+      out += cat(" (", r.msg_records_dropped, " dropped)");
+    out += cat("\n  queueing (summed over messages): end-to-end ",
+               num(static_cast<double>(e2e) / 1e6), " ms\n");
+    auto qrow = [&](const char* name, std::int64_t v) {
+      if (v <= 0) return;
+      out += cat("    ", name, " ", num(static_cast<double>(v) / 1e6),
+                 " ms  (", pct(static_cast<double>(v),
+                               static_cast<double>(e2e)),
+                 ")\n");
+    };
+    qrow("pack          ", q.pack_ns);
+    qrow("sender_blocked", q.sender_blocked_ns);
+    qrow("queue         ", q.queue_ns);
+    qrow("unpack_wait   ", q.unpack_wait_ns);
+    qrow("dispatch      ", q.dispatch_ns);
+    if (r.measured_path_valid)
+      out += cat("  measured path: ", r.measured_path.size(),
+                 " tiles (inferred: ", r.critical_path.size(),
+                 "), attribution covers ", pct(r.measured_coverage, 1.0),
+                 " of the makespan\n");
+  }
   return out;
 }
 
@@ -527,7 +692,21 @@ double field_num(const json::Value& v, const char* key) {
   return v.has(key) ? v.at(key).as_number() : 0.0;
 }
 
-PhaseBreakdown parse_breakdown(const json::Value& b) {
+constexpr const char* kCanonicalPhases[] = {
+    "compute", "unpack", "pack",    "send", "blocked_send",
+    "poll",    "idle",   "barrier", "other"};
+
+bool is_canonical_phase(const std::string& name) {
+  for (const char* c : kCanonicalPhases)
+    if (name == c) return true;
+  return false;
+}
+
+/// Canonical nine buckets into the PhaseBreakdown; any other numeric key
+/// (a newer report revision) into `extras` so it diffs against 0 rather
+/// than vanishing when only one side has it.
+PhaseBreakdown parse_breakdown(const json::Value& b,
+                               std::map<std::string, double>* extras) {
   PhaseBreakdown out;
   out.compute = field_num(b, "compute");
   out.unpack = field_num(b, "unpack");
@@ -538,14 +717,19 @@ PhaseBreakdown parse_breakdown(const json::Value& b) {
   out.idle = field_num(b, "idle");
   out.barrier = field_num(b, "barrier");
   out.other = field_num(b, "other");
+  if (extras)
+    for (const auto& [name, value] : b.fields)
+      if (!is_canonical_phase(name) && value->is(json::Kind::kNumber))
+        (*extras)[name] = value->as_number();
   return out;
 }
 
 void write_diff_side(json::Writer& w, const std::string& source,
                      const std::string& problem, const std::string& passes,
                      double makespan_s, long long path_tiles,
-                     const PhaseBreakdown& phases, double bytes,
-                     double messages, double imbalance) {
+                     const PhaseBreakdown& phases,
+                     const std::map<std::string, double>& extra_phases,
+                     double bytes, double messages, double imbalance) {
   w.begin_object();
   w.key("source");
   w.value(source);
@@ -577,6 +761,10 @@ void write_diff_side(json::Writer& w, const std::string& source,
   w.value(phases.barrier);
   w.key("other");
   w.value(phases.other);
+  for (const auto& [name, value] : extra_phases) {
+    w.key(name);
+    w.value(value);
+  }
   w.end_object();
   w.key("total_bytes");
   w.value(bytes);
@@ -604,7 +792,8 @@ ReportDelta diff_reports(const json::Value& old_report,
   auto side = [](const json::Value& r, std::string* source,
                  std::string* problem, std::string* passes, double* makespan,
                  long long* path_tiles, PhaseBreakdown* phases,
-                 double* bytes, double* messages, double* imbalance) {
+                 std::map<std::string, double>* extra_phases, double* bytes,
+                 double* messages, double* imbalance) {
     if (r.has("source")) *source = r.at("source").as_string();
     if (r.has("problem")) *problem = r.at("problem").as_string();
     if (r.has("passes")) {
@@ -619,7 +808,8 @@ ReportDelta diff_reports(const json::Value& old_report,
       const json::Value& cp = r.at("critical_path");
       *path_tiles = static_cast<long long>(field_num(cp, "length"));
       if (cp.has("attribution_seconds"))
-        *phases = parse_breakdown(cp.at("attribution_seconds"));
+        *phases =
+            parse_breakdown(cp.at("attribution_seconds"), extra_phases);
     }
     if (r.has("comm_matrix")) {
       *bytes = field_num(r.at("comm_matrix"), "total_bytes");
@@ -630,10 +820,12 @@ ReportDelta diff_reports(const json::Value& old_report,
   };
   side(old_report, &d.old_source, &d.old_problem, &d.old_passes,
        &d.old_makespan_s, &d.old_path_tiles, &d.old_phases,
-       &d.old_total_bytes, &d.old_total_messages, &d.old_measured_imbalance);
+       &d.old_extra_phases, &d.old_total_bytes, &d.old_total_messages,
+       &d.old_measured_imbalance);
   side(new_report, &d.new_source, &d.new_problem, &d.new_passes,
        &d.new_makespan_s, &d.new_path_tiles, &d.new_phases,
-       &d.new_total_bytes, &d.new_total_messages, &d.new_measured_imbalance);
+       &d.new_extra_phases, &d.new_total_bytes, &d.new_total_messages,
+       &d.new_measured_imbalance);
   return d;
 }
 
@@ -676,6 +868,15 @@ std::string diff_text(const ReportDelta& d) {
   row("idle_s", d.old_phases.idle, d.new_phases.idle);
   row("barrier_s", d.old_phases.barrier, d.new_phases.barrier);
   row("other_s", d.old_phases.other, d.new_phases.other);
+  // Buckets outside the canonical nine: present on either side diffs
+  // against 0 on the other (previously they were silently dropped).
+  std::map<std::string, std::pair<double, double>> extras;
+  for (const auto& [name, value] : d.old_extra_phases)
+    extras[name].first = value;
+  for (const auto& [name, value] : d.new_extra_phases)
+    extras[name].second = value;
+  for (const auto& [name, values] : extras)
+    row(cat(name, "_s").c_str(), values.first, values.second);
   row("total_bytes", d.old_total_bytes, d.new_total_bytes);
   row("total_messages", d.old_total_messages, d.new_total_messages);
   row("imbalance", d.old_measured_imbalance, d.new_measured_imbalance);
@@ -690,13 +891,13 @@ std::string diff_json(const ReportDelta& d) {
   w.key("old");
   write_diff_side(w, d.old_source, d.old_problem, d.old_passes,
                   d.old_makespan_s, d.old_path_tiles, d.old_phases,
-                  d.old_total_bytes, d.old_total_messages,
-                  d.old_measured_imbalance);
+                  d.old_extra_phases, d.old_total_bytes,
+                  d.old_total_messages, d.old_measured_imbalance);
   w.key("new");
   write_diff_side(w, d.new_source, d.new_problem, d.new_passes,
                   d.new_makespan_s, d.new_path_tiles, d.new_phases,
-                  d.new_total_bytes, d.new_total_messages,
-                  d.new_measured_imbalance);
+                  d.new_extra_phases, d.new_total_bytes,
+                  d.new_total_messages, d.new_measured_imbalance);
   w.key("delta");
   PhaseBreakdown dp;
   dp.compute = d.new_phases.compute - d.old_phases.compute;
@@ -708,9 +909,14 @@ std::string diff_json(const ReportDelta& d) {
   dp.idle = d.new_phases.idle - d.old_phases.idle;
   dp.barrier = d.new_phases.barrier - d.old_phases.barrier;
   dp.other = d.new_phases.other - d.old_phases.other;
+  // Extra buckets delta over the union of both sides' keys (absent = 0).
+  std::map<std::string, double> dextra;
+  for (const auto& [name, value] : d.new_extra_phases) dextra[name] = value;
+  for (const auto& [name, value] : d.old_extra_phases)
+    dextra[name] -= value;
   write_diff_side(w, d.new_source, d.new_problem, d.new_passes,
                   d.new_makespan_s - d.old_makespan_s,
-                  d.new_path_tiles - d.old_path_tiles, dp,
+                  d.new_path_tiles - d.old_path_tiles, dp, dextra,
                   d.new_total_bytes - d.old_total_bytes,
                   d.new_total_messages - d.old_total_messages,
                   d.new_measured_imbalance - d.old_measured_imbalance);

@@ -26,9 +26,11 @@
 // is schema-stable ("dpgen.report.v1", tools/report_schema.json).
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/msgtrace.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
 #include "support/vec.hpp"
@@ -59,6 +61,11 @@ struct AnalysisInput {
   /// Codegen optimization passes live during the run (generated programs:
   /// the generation-time pipeline minus anything --passes=none disabled).
   std::vector<std::string> passes;
+  /// Per-message lifecycle records (causal message tracing); empty =
+  /// untraced run, msgtrace analyses are skipped.
+  std::vector<MsgRecord> msg_records;
+  /// MsgTracer::dropped() at export time.
+  std::uint64_t msg_records_dropped = 0;
 };
 
 /// Seconds attributed to each phase bucket.  `other` is the uncovered
@@ -147,6 +154,23 @@ struct AnalysisReport {
   std::vector<std::vector<std::uint64_t>> messages_matrix;
   std::uint64_t total_bytes = 0;
   std::uint64_t total_messages = 0;
+
+  // ---- (4) measured message path (causal message tracing) -----------------
+  // Same walk and the same gap-attribution mechanics as (1), but
+  // predecessors are chosen by *measured* arrival: a remote dependency
+  // becomes available at its record's deliver stamp, a local one at the
+  // producer's execute end.  Cross-checking this path against the inferred
+  // one is the tracing stack's end-to-end self-test.
+  std::vector<CriticalPathStep> measured_path;
+  PhaseBreakdown measured_attribution;
+  double measured_coverage = 0.0;
+  /// True when message records were supplied and the path was computed.
+  bool measured_path_valid = false;
+  /// Aggregate queueing-delay decomposition over all message records
+  /// (integer ns; total() == summed end-to-end latency exactly).
+  MsgQueueing queueing;
+  std::uint64_t msg_records = 0;
+  std::uint64_t msg_records_dropped = 0;
 };
 
 /// Runs all three analyses.  Pure function of the input; deterministic.
@@ -185,6 +209,11 @@ struct ReportDelta {
   /// Codegen pass lists, comma-joined ("" when absent/none) — a diff in
   /// which these differ compares two different emissions of the problem.
   std::string old_passes, new_passes;
+  /// Attribution buckets outside the canonical nine (a newer report
+  /// revision's extra phases vs an old archive).  Keyed by bucket name; a
+  /// bucket present in only one report diffs against 0 on the other side
+  /// instead of being silently dropped.
+  std::map<std::string, double> old_extra_phases, new_extra_phases;
 };
 
 /// Extracts the comparable summary of two parsed dpgen.report.v1

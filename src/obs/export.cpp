@@ -37,7 +37,8 @@ std::string track_name(int rank) {
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<Span>& spans,
-                              std::uint64_t dropped) {
+                              std::uint64_t dropped,
+                              const std::vector<MsgRecord>& msgs) {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
   auto emit = [&](const std::string& event) {
@@ -51,6 +52,14 @@ std::string chrome_trace_json(const std::vector<Span>& spans,
   for (const Span& s : spans) {
     ranks.insert(s.rank);
     threads.insert({s.rank, s.thread});
+  }
+  for (const MsgRecord& m : msgs) {
+    // Flow endpoints need their tracks named even when span collection
+    // missed the thread (ring overflow).
+    ranks.insert(m.src);
+    ranks.insert(m.dst);
+    threads.insert({m.src, m.src_thread});
+    threads.insert({m.dst, m.dst_thread});
   }
   for (int r : ranks)
     emit(cat("{\"ph\":\"M\",\"pid\":", r,
@@ -75,6 +84,20 @@ std::string chrome_trace_json(const std::vector<Span>& spans,
              "\",\"args\":{\"phase\":\"", phase_name(s.phase), "\"", args,
              "}}"));
   }
+  // Flow events: one "s"/"f" pair per message, identified by the per-link
+  // sequence number.  The start binds to the sender's enclosing send span
+  // at send time; "bp":"e" makes the finish bind to the receiver's
+  // enclosing span at dispatch time rather than the next slice.
+  for (const MsgRecord& m : msgs) {
+    const std::string id = cat(m.src, ":", m.dst, ":", m.seq);
+    emit(cat("{\"ph\":\"s\",\"cat\":\"msg\",\"name\":\"msg\",\"id\":\"", id,
+             "\",\"pid\":", m.src, ",\"tid\":", m.src_thread,
+             ",\"ts\":", us_from_ns(m.send_ns), "}"));
+    emit(cat("{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"msg\",\"name\":\"msg\","
+             "\"id\":\"", id, "\",\"pid\":", m.dst, ",\"tid\":",
+             m.dst_thread, ",\"ts\":", us_from_ns(m.dispatch_ns), "}"));
+  }
+
   out += cat("\n],\"displayTimeUnit\":\"ms\",\"metadata\":{\"spans_dropped\":",
              dropped, "}}\n");
   return out;
@@ -82,10 +105,11 @@ std::string chrome_trace_json(const std::vector<Span>& spans,
 
 void write_chrome_trace(const std::string& path,
                         const std::vector<Span>& spans,
-                        std::uint64_t dropped) {
+                        std::uint64_t dropped,
+                        const std::vector<MsgRecord>& msgs) {
   std::ofstream out(path);
   DPGEN_CHECK(out.good(), cat("cannot open trace output '", path, "'"));
-  out << chrome_trace_json(spans, dropped);
+  out << chrome_trace_json(spans, dropped, msgs);
   DPGEN_CHECK(out.good(), cat("error writing trace '", path, "'"));
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/msgtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace dpgen::obs {
@@ -20,14 +21,20 @@ namespace dpgen::obs {
 /// Tracer::dropped() at export time; it is surfaced in the document's
 /// "metadata" object ("spans_dropped") so a reader — human or the
 /// analyzer — knows when ring-buffer overflow truncated the timeline.
+/// When `msgs` is non-empty each message record also emits a Perfetto
+/// flow pair: "s" on the sender's track at send time, "f" on the
+/// receiver's track at dispatch time, so the viewer draws an arrow from
+/// the producing send span to the consuming dispatch.
 std::string chrome_trace_json(const std::vector<Span>& spans,
-                              std::uint64_t dropped = 0);
+                              std::uint64_t dropped = 0,
+                              const std::vector<MsgRecord>& msgs = {});
 
-/// Writes chrome_trace_json(spans, dropped) to `path` (throws
+/// Writes chrome_trace_json(spans, dropped, msgs) to `path` (throws
 /// dpgen::Error on I/O failure).
 void write_chrome_trace(const std::string& path,
                         const std::vector<Span>& spans,
-                        std::uint64_t dropped = 0);
+                        std::uint64_t dropped = 0,
+                        const std::vector<MsgRecord>& msgs = {});
 
 /// Writes the registry's JSON dump to `path`.
 void write_metrics_json(const std::string& path,

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/msgtrace.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -62,6 +63,53 @@ void gather_and_merge(CommT& comm) {
   if (comm.rank() == 0) {
     for (std::size_t off = 0; off < all.size(); off += max_bytes)
       tracer.add_merged(deserialize_spans(all.data() + off, max_bytes));
+  }
+}
+
+/// Serializes message records into the wire format [count, MsgRecord...].
+inline std::vector<std::uint8_t> serialize_msgs(
+    const std::vector<MsgRecord>& records) {
+  std::vector<std::uint8_t> out(sizeof(std::uint64_t) +
+                                records.size() * sizeof(MsgRecord));
+  const std::uint64_t count = records.size();
+  std::memcpy(out.data(), &count, sizeof(count));
+  if (!records.empty())
+    std::memcpy(out.data() + sizeof(count), records.data(),
+                records.size() * sizeof(MsgRecord));
+  return out;
+}
+
+/// Inverse of serialize_msgs; tolerates trailing padding bytes.
+inline std::vector<MsgRecord> deserialize_msgs(const std::uint8_t* data,
+                                               std::size_t bytes) {
+  DPGEN_CHECK(bytes >= sizeof(std::uint64_t), "malformed msg buffer");
+  std::uint64_t count = 0;
+  std::memcpy(&count, data, sizeof(count));
+  DPGEN_CHECK(bytes >= sizeof(count) + count * sizeof(MsgRecord),
+              "msg buffer length mismatch");
+  std::vector<MsgRecord> records(count);
+  if (count)
+    std::memcpy(records.data(), data + sizeof(count),
+                count * sizeof(MsgRecord));
+  return records;
+}
+
+/// gather_and_merge for message lifecycle records: each rank ships the
+/// records it *received* (collect_rank filters on destination) to rank 0.
+/// Collective, same contract as gather_and_merge.
+template <typename CommT>
+void gather_and_merge_msgs(CommT& comm) {
+  MsgTracer& tracer = MsgTracer::instance();
+  std::vector<std::uint8_t> mine =
+      serialize_msgs(tracer.collect_rank(comm.rank()));
+  const auto max_bytes = static_cast<std::size_t>(
+      comm.allreduce_max(static_cast<double>(mine.size())));
+  mine.resize(max_bytes, 0);
+  std::vector<std::uint8_t> all;
+  comm.gather(0, mine.data(), mine.size(), &all);
+  if (comm.rank() == 0) {
+    for (std::size_t off = 0; off < all.size(); off += max_bytes)
+      tracer.add_merged(deserialize_msgs(all.data() + off, max_bytes));
   }
 }
 

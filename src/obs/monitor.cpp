@@ -135,6 +135,7 @@ void Monitor::publish(int rank, const RankSnapshot& snap) {
   b.progress_marker.store(snap.progress_marker, std::memory_order_relaxed);
   b.active_workers.store(snap.active_workers, std::memory_order_relaxed);
   b.workers.store(snap.workers, std::memory_order_relaxed);
+  b.mailbox_depth.store(snap.mailbox_depth, std::memory_order_relaxed);
   b.prof_cycles.store(snap.prof_cycles, std::memory_order_relaxed);
   b.prof_instructions.store(snap.prof_instructions,
                             std::memory_order_relaxed);
@@ -167,6 +168,7 @@ void Monitor::publish(int rank, const RankSnapshot& snap) {
     w.key("progress_marker").value(snap.progress_marker);
     w.key("active_workers").value(snap.active_workers);
     w.key("workers").value(snap.workers);
+    w.key("mailbox_depth").value(snap.mailbox_depth);
     if (snap.prof_cycles > 0) {
       // Profiled runs only: live counter totals (cycles, or thread CPU ns
       // in cputime mode) so dpgen-top and log consumers can derive IPC and
@@ -262,6 +264,7 @@ RankSnapshot Monitor::latest(int rank) const {
     out.progress_marker = b.progress_marker.load(std::memory_order_relaxed);
     out.active_workers = b.active_workers.load(std::memory_order_relaxed);
     out.workers = b.workers.load(std::memory_order_relaxed);
+    out.mailbox_depth = b.mailbox_depth.load(std::memory_order_relaxed);
     out.prof_cycles = b.prof_cycles.load(std::memory_order_relaxed);
     out.prof_instructions =
         b.prof_instructions.load(std::memory_order_relaxed);

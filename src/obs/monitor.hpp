@@ -86,6 +86,10 @@ struct RankSnapshot {
   /// at its true per-worker speed instead of half of it.
   long long active_workers = 0;
   long long workers = 1;
+  /// Messages waiting in this rank's mailbox when the snapshot was taken —
+  /// the live backpressure gauge (a persistently deep mailbox means the
+  /// rank polls slower than its upstreams send).
+  long long mailbox_depth = 0;
   /// Continuous-profiling totals for this rank (obs::Profiler::rank_totals;
   /// all zero when the run is not profiled).  `prof_cycles` counts thread
   /// CPU ns instead of cycles when the profiler runs in cputime mode —
@@ -233,6 +237,7 @@ class Monitor {
     std::atomic<long long> progress_marker{0};
     std::atomic<long long> active_workers{0};
     std::atomic<long long> workers{1};
+    std::atomic<long long> mailbox_depth{0};
     std::atomic<long long> prof_cycles{0};
     std::atomic<long long> prof_instructions{0};
     std::atomic<long long> prof_sampled_cells{0};

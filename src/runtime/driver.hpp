@@ -439,6 +439,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
     s.progress_marker = progress_marker.load(std::memory_order_relaxed);
     s.active_workers = busy_workers.load(std::memory_order_relaxed);
     s.workers = opt.threads;
+    s.mailbox_depth = static_cast<long long>(comm.mailbox_depth());
     if (opt.profile) {
       const auto prof = obs::Profiler::instance().rank_totals(rank);
       s.prof_cycles = static_cast<long long>(prof.cycles);
@@ -488,17 +489,46 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
       if (!lock.owns_lock()) return false;
       obs::ScopedSpan span(obs::Phase::kPoll);
       bool got = false;
+      std::int64_t batch_deliver_ns = 0;
       while (auto msg = comm.try_recv()) {
         EdgeData<S> ed;
         ed.payload = payload_pool.acquire();
         detail::decode_edge<S>(msg->payload, dim, num_edges, &ed.edge,
                                &poll_consumer, &ed.payload);
+        if (msg->env.seq >= 0) {
+          // Traced message: complete the sender/transport half of the
+          // lifecycle envelope into the edge's record; unpack and
+          // dispatch are stamped when the consumer tile runs.
+          ed.msg.seq = msg->env.seq;
+          ed.msg.pack_ns = msg->env.pack_ns;
+          ed.msg.send_ns = msg->env.send_ns;
+          ed.msg.admit_ns = msg->env.admit_ns;
+          // One stamp per drain sweep: every message pulled while the
+          // poll lock is held was sitting in the mailbox at the same
+          // instant, so they share a deliver time (and the hot path pays
+          // one clock read per sweep, not per message).
+          if (batch_deliver_ns == 0) batch_deliver_ns = obs::MsgTracer::now_ns();
+          ed.msg.deliver_ns = batch_deliver_ns;
+          ed.msg.bytes = static_cast<std::int64_t>(msg->payload.size());
+          ed.msg.src = static_cast<std::int16_t>(msg->source);
+          ed.msg.dst = static_cast<std::int16_t>(rank);
+          ed.msg.src_thread = msg->env.src_thread;
+          ed.msg.edge = static_cast<std::int16_t>(ed.edge);
+        }
         wire_pool.release(std::move(msg->payload));
         // After a restart/resume, a re-executing producer re-sends edges
         // whose consumer the checkpoint already credits as executed.
         // Delivering those would rebuild the consumer's full dependency
         // set and make it execute twice, so they are dropped here.
         if (ckpt_replay && checkpoint->executed(poll_consumer)) {
+          if (ed.msg.seq >= 0) {
+            // Delivered-but-screened: record it now (conservation counts
+            // the delivery; dispatch never happens for a replayed edge).
+            ed.msg.unpack_ns = ed.msg.deliver_ns;
+            ed.msg.dispatch_ns = ed.msg.deliver_ns;
+            ed.msg.dst_thread = static_cast<std::int16_t>(worker_id);
+            obs::MsgTracer::instance().record(ed.msg);
+          }
           payload_pool.release(std::move(ed.payload));
         } else {
           table.deliver(poll_consumer, expected_deps, std::move(ed));
@@ -649,6 +679,10 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
         } else {
           std::fill(buffer.begin(), buffer.end(), S{});
         }
+        // All of this tile's stored edges unpack back to back; one stamp
+        // (taken at the first traced edge) marks the batch, keeping the
+        // clock off the hot path for locally-fed tiles.
+        std::int64_t unpack_ns = 0;
         for (auto& e : ready->edges) {
           const IntVec& off = hooks.edge_offset(e.edge);
           for (int k = 0; k < dim; ++k)
@@ -657,7 +691,33 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
                        off[static_cast<std::size_t>(k)]);
           hooks.unpack(e.edge, producer, e.payload.data(),
                        static_cast<Int>(e.payload.size()), buffer.data());
+          if (e.msg.seq >= 0) {
+            if (unpack_ns == 0) unpack_ns = obs::MsgTracer::now_ns();
+            e.msg.unpack_ns = unpack_ns;
+          }
           payload_pool.release(std::move(e.payload));
+        }
+      }
+
+      // Dispatch stamp: the dependent tile is about to execute.  Each
+      // remote edge's lifecycle record is complete here, so it goes into
+      // the ring (one shared stamp — the edges unblock the same tile).
+      if (obs::MsgTracer::instance().enabled()) {
+        // Most tiles are fed by local edges only; find a traced edge
+        // before touching the clock so purely-local tiles pay one relaxed
+        // load and a short scan, not a timestamp per pop.
+        std::int64_t dispatch_ns = 0;
+        const auto nc = static_cast<std::uint8_t>(std::min<std::size_t>(
+            ready->tile.size(), obs::kMaxSpanDims));
+        for (auto& e : ready->edges) {
+          if (e.msg.seq < 0) continue;
+          if (dispatch_ns == 0) dispatch_ns = obs::MsgTracer::now_ns();
+          e.msg.dispatch_ns = dispatch_ns;
+          e.msg.dst_thread = static_cast<std::int16_t>(worker_id);
+          e.msg.ncoord = nc;
+          for (std::uint8_t k = 0; k < nc; ++k)
+            e.msg.consumer[k] = static_cast<std::int32_t>(ready->tile[k]);
+          obs::MsgTracer::instance().record(e.msg);
         }
       }
 
@@ -725,6 +785,9 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
           // Remote edge: pack straight into the wire buffer after the
           // reserved header, then move the buffer into the mailbox.
           obs::ScopedSpan span(obs::Phase::kSend, &consumer);
+          const bool msg_traced = obs::MsgTracer::instance().enabled();
+          minimpi::MsgEnvelope env;
+          if (msg_traced) env.pack_ns = obs::MsgTracer::now_ns();
           std::vector<std::uint8_t> wire = wire_pool.acquire();
           S* out = detail::begin_edge_wire<S>(wire, dim,
                                               hooks.edge_capacity(e));
@@ -741,7 +804,16 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
             // payload region) is still valid here.
             ckpt_edges.push_back(
                 CheckpointEdge<S>{consumer, e, std::vector<S>(out, out + count)});
-          if (!comm.try_send(dst, e, wire)) {
+          if (msg_traced) {
+            // One sequence number per message, assigned before the retry
+            // loop — retries reuse the same envelope, so a blocked send
+            // never burns extra numbers.
+            env.seq = comm.next_seq(dst);
+            env.send_ns = obs::MsgTracer::now_ns();
+            env.src_thread = static_cast<std::int16_t>(worker_id);
+          }
+          const minimpi::MsgEnvelope* envp = msg_traced ? &env : nullptr;
+          if (!comm.try_send(dst, e, wire, envp)) {
             // Destination buffers full: service our own mailbox while
             // backing off, which avoids cyclic send deadlocks under
             // small buffer budgets.
@@ -754,7 +826,7 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
                 raise("peer worker failed while this send was blocked");
               poll();
               send_backoff.pause();
-            } while (!comm.try_send(dst, e, wire));
+            } while (!comm.try_send(dst, e, wire, envp));
             blocked_senders.fetch_sub(1, std::memory_order_relaxed);
             const double waited =
                 std::chrono::duration<double>(Clock::now() - t0).count();
@@ -907,6 +979,12 @@ RunStats run_node(ProblemHooks<S>& hooks, minimpi::Comm& comm,
   if (obs::Tracer::instance().enabled()) {
     obs::ScopedSpan span(obs::Phase::kGather);
     obs::gather_and_merge(comm);
+  }
+  // Message records ride the same collective path (the enable flag is
+  // process-wide, so every rank takes this branch together or not at all).
+  if (obs::MsgTracer::instance().enabled()) {
+    obs::ScopedSpan span(obs::Phase::kGather);
+    obs::gather_and_merge_msgs(comm);
   }
 #endif
   return stats;

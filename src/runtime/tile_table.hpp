@@ -31,17 +31,23 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/msgtrace.hpp"
 #include "runtime/order.hpp"
 #include "support/error.hpp"
 
 namespace dpgen::runtime {
 
 /// One packed tile edge: which edge (tile-dependency offset index) plus the
-/// packed scalars in canonical pack order.
+/// packed scalars in canonical pack order.  `msg` is the in-flight message
+/// lifecycle record for a remote edge (msg.seq < 0 for local edges and
+/// untraced runs); the driver completes it at dispatch time.  Checkpoint
+/// serialization ignores it — losing stamps across a restart only costs
+/// observability.
 template <typename S>
 struct EdgeData {
   int edge = -1;
   std::vector<S> payload;
+  obs::MsgRecord msg{};
 };
 
 /// A tile ready for execution, with every incoming edge it accumulated.

@@ -50,6 +50,13 @@ struct ClusterConfig {
   /// analyzer as real runs (obs/analysis.hpp); the report JSON is written
   /// here.
   std::string report_json_path;
+  /// When non-empty, the DES synthesizes one causal message record per
+  /// remote edge (pack/send/admit at the producer's completion, deliver
+  /// after the modelled link latency, unpack/dispatch at the consumer's
+  /// execute start) and writes the dpgen.msgtrace.v1 document here ("-" =
+  /// collect into SimResult::msg_records only).  Implies record_timeline.
+  /// Simulated delivery is lossless, so conservation always accounts.
+  std::string msgtrace_path;
   /// Per-node compute slowdown factors (empty = all 1.0): tile cost on
   /// node n is multiplied by node_slowdown[n].  The deterministic
   /// straggler-injection knob for testing the online detector.
@@ -100,6 +107,10 @@ struct SimResult {
   long long peak_buffered_edges = 0;
   /// Per-tile execution spans (only when ClusterConfig::record_timeline).
   std::vector<TileSpan> timeline;
+  /// Synthesized per-message lifecycle records (only when
+  /// ClusterConfig::msgtrace_path is set); they feed the report's
+  /// msgtrace section through analysis_input.
+  std::vector<obs::MsgRecord> msg_records;
   /// node x node simulated traffic, [source][destination].  Bytes assume
   /// 8-byte wire scalars (edge capacity x sizeof(double)), matching the
   /// link-bandwidth model's scalar accounting.

@@ -114,6 +114,7 @@ inline constexpr SchemaRegistryEntry kSchemaRegistry[] = {
     {"dpgen.events.v1", "events_schema.json"},
     {"dpgen.checkpoint.v1", "checkpoint_schema.json"},
     {"dpgen.profile.v1", "profile_schema.json"},
+    {"dpgen.msgtrace.v1", "msgtrace_schema.json"},
 };
 
 /// Schema filename for a document id ("" = unknown id).

@@ -434,6 +434,51 @@ TEST(Analysis, DiffReportsDeltasTheComparableSummary) {
       0.4, 1e-6);
 }
 
+// Regression: a phase bucket present in only one of the two reports (an
+// old report predating a new phase, or vice versa) must diff cleanly —
+// missing buckets read as zero on the side that lacks them, and the
+// one-sided bucket still shows up in the text and JSON deltas.
+TEST(Analysis, DiffReportsHandlesOneSidedPhaseBuckets) {
+  AnalysisReport base = obs::analyze(hand_built_input());
+  auto old_doc = json::parse(obs::report_json(base));
+  auto new_doc = json::parse(obs::report_json(base));
+
+  // Splice a non-canonical bucket into the new report's attribution only.
+  json::Value& attribution = const_cast<json::Value&>(
+      new_doc->at("critical_path").at("attribution_seconds"));
+  auto extra = std::make_shared<json::Value>();
+  extra->kind = json::Kind::kNumber;
+  extra->number = 0.75;
+  attribution.fields["gather"] = extra;
+
+  obs::ReportDelta d = obs::diff_reports(*old_doc, *new_doc);
+  ASSERT_EQ(d.new_extra_phases.count("gather"), 1u);
+  EXPECT_NEAR(d.new_extra_phases.at("gather"), 0.75, 1e-9);
+  EXPECT_TRUE(d.old_extra_phases.empty());
+
+  const std::string text = obs::diff_text(d);
+  EXPECT_NE(text.find("gather"), std::string::npos);
+
+  auto diff_doc = json::parse(obs::diff_json(d));
+  // Old side reads as zero, the delta carries the full new value.
+  EXPECT_FALSE(diff_doc->at("old").at("phases_seconds").has("gather"));
+  EXPECT_NEAR(
+      diff_doc->at("new").at("phases_seconds").at("gather").as_number(),
+      0.75, 1e-9);
+  EXPECT_NEAR(
+      diff_doc->at("delta").at("phases_seconds").at("gather").as_number(),
+      0.75, 1e-9);
+
+  // And the mirror image: the bucket only in the OLD report.
+  obs::ReportDelta rd = obs::diff_reports(*new_doc, *old_doc);
+  ASSERT_EQ(rd.old_extra_phases.count("gather"), 1u);
+  EXPECT_TRUE(rd.new_extra_phases.empty());
+  auto rdoc = json::parse(obs::diff_json(rd));
+  EXPECT_NEAR(
+      rdoc->at("delta").at("phases_seconds").at("gather").as_number(),
+      -0.75, 1e-9);
+}
+
 TEST(Analysis, DiffReportsRejectsNonV1Documents) {
   auto bogus = json::parse("{\"schema\":\"bogus.v0\"}");
   auto good = json::parse(obs::report_json(obs::analyze(hand_built_input())));

@@ -258,6 +258,37 @@ TEST(EndToEnd, GeneratedLcsMatchesOracle) {
     std::remove(metrics.c_str());
   }
 
+  // Causal message tracing: --msgtrace writes a dpgen.msgtrace.v1 document
+  // whose per-link conservation accounts every sequence number, and the
+  // run prints a MSGTRACE summary line.
+  if (obs::kTraceCompiled) {
+    std::string mt = testing::TempDir() + "/dpgen_lcs_msgtrace.json";
+    auto [mtstatus, mtout] = run_command(
+        cat(prog.binary, args, " --ranks=2 --threads=2 --msgtrace=", mt));
+    ASSERT_EQ(mtstatus, 0) << mtout;
+    EXPECT_DOUBLE_EQ(parse_result(mtout, p.objective), 4.0) << mtout;
+    EXPECT_NE(mtout.find("MSGTRACE records="), std::string::npos) << mtout;
+    std::ifstream mtf(mt);
+    ASSERT_TRUE(mtf.good()) << "generated program wrote no msgtrace file";
+    std::stringstream mts;
+    mts << mtf.rdbuf();
+    auto mtdoc = json::parse(mts.str());
+    EXPECT_EQ(mtdoc->at("schema").as_string(), "dpgen.msgtrace.v1");
+    EXPECT_EQ(mtdoc->at("source").as_string(), "generated");
+    const json::Value& cons = mtdoc->at("conservation");
+    EXPECT_EQ(cons.at("total_sent").as_number(),
+              cons.at("total_delivered").as_number());
+    EXPECT_TRUE(cons.at("accounted").boolean);
+    std::ifstream msf(DPGEN_SRC_DIR "/../tools/msgtrace_schema.json");
+    ASSERT_TRUE(msf.good());
+    std::stringstream mschema_text;
+    mschema_text << msf.rdbuf();
+    auto mschema = json::parse(mschema_text.str());
+    for (const auto& e : json::validate(*mschema, *mtdoc))
+      ADD_FAILURE() << e;
+    std::remove(mt.c_str());
+  }
+
   // Live monitoring: --monitor streams dpgen.events.v1 heartbeats, the
   // run prints a MONITOR summary, and on a balanced in-process run the
   // straggler detector stays quiet.

@@ -37,6 +37,7 @@
 //       executed tiles and total bytes/messages must conserve between the
 //       live and post-hoc views).  Exit 1 on any violation or mismatch.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -47,6 +48,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "minimpi/faults.hpp"
 #include "obs/analysis.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -85,6 +87,10 @@ struct Options {
   double profile_hz = 97.0;
   bool profile_cputime = false;
   std::string flame_out;     ///< --flame=: write the HTML icicle view
+  std::string msgtrace_in;   ///< --msgtrace=: check a dpgen.msgtrace.v1 doc
+  std::string msgtrace_out;  ///< --msgtrace-out=: msgtrace the engine/sim run
+  std::string waterfall_out; ///< --waterfall=: per-message HTML view
+  std::string faults;        ///< --faults=: run the engine under a fault plan
   bool list = false;
 };
 
@@ -176,8 +182,12 @@ int usage(const char* argv0) {
       "       %s --diff OLD.json NEW.json [--report=FILE]\n"
       "       %s --events=FILE [--schema=SCHEMA] [--report=REPORT]\n"
       "       %s --profile=FILE [--report=REPORT] [--flame=FILE]\n"
-      "       %s --list\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      "       %s --msgtrace=FILE [--waterfall=FILE]   (conservation check; "
+      "exit 1 on unexplained loss)\n"
+      "       %s --list\n"
+      "engine runs also accept [--msgtrace-out=FILE] [--faults=PLAN]; sim "
+      "runs accept [--msgtrace-out=FILE]\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -233,9 +243,17 @@ void load_trace(const std::string& path, obs::AnalysisInput* in) {
 int run_validate(const Options& opt) {
   const std::string text = read_file(opt.validate_path);
   // JSONL detection via the first line: events logs are the only multi-
-  // document files the tools emit.
+  // document files the tools emit.  Single documents may still span lines
+  // (reports pretty-break between sections), so a first line that is not
+  // itself a complete JSON value means "one document" — parse the whole
+  // text instead.
   const std::string first_line = text.substr(0, text.find('\n'));
-  json::ValuePtr first = json::parse(first_line.empty() ? text : first_line);
+  json::ValuePtr first;
+  try {
+    first = json::parse(first_line.empty() ? text : first_line);
+  } catch (const std::exception&) {
+    first = json::parse(text);
+  }
   const std::string doc_id =
       first->is(json::Kind::kObject) && first->has("schema")
           ? first->at("schema").as_string()
@@ -631,6 +649,218 @@ int run_profile(const Options& opt) {
   return violations == 0 ? 0 : 1;
 }
 
+long long inum(const json::Value& v, const char* key) {
+  return v.has(key) ? static_cast<long long>(v.at(key).as_number()) : 0;
+}
+
+/// pack + sender_blocked + queue + unpack_wait + dispatch == end_to_end:
+/// the decomposition's defining invariant (integer ns, exact).
+bool queueing_sums(const json::Value& q) {
+  return inum(q, "pack") + inum(q, "sender_blocked") + inum(q, "queue") +
+             inum(q, "unpack_wait") + inum(q, "dispatch") ==
+         inum(q, "end_to_end");
+}
+
+/// Self-contained per-message waterfall: one horizontal bar per record,
+/// the five lifecycle segments colour-coded, time left to right.
+std::string waterfall_html(const json::Value& doc) {
+  static const struct {
+    const char* stage;
+    const char* from;
+    const char* to;
+    const char* color;
+  } kStages[] = {
+      {"pack", "pack_ns", "send_ns", "#4c78a8"},
+      {"sender_blocked", "send_ns", "admit_ns", "#e45756"},
+      {"queue", "admit_ns", "deliver_ns", "#f58518"},
+      {"unpack_wait", "deliver_ns", "unpack_ns", "#72b7b2"},
+      {"dispatch", "unpack_ns", "dispatch_ns", "#54a24b"},
+  };
+  constexpr std::size_t kMaxRows = 2000;
+  constexpr double kPlotW = 960.0, kLabelW = 150.0, kRowH = 14.0;
+
+  std::vector<const json::Value*> records;
+  for (const json::ValuePtr& r : doc.at("records").as_array())
+    records.push_back(r.get());
+  std::sort(records.begin(), records.end(),
+            [](const json::Value* a, const json::Value* b) {
+              return inum(*a, "pack_ns") < inum(*b, "pack_ns");
+            });
+  const std::size_t rows = std::min(records.size(), kMaxRows);
+  long long t0 = 0, t1 = 1;
+  if (rows > 0) {
+    t0 = inum(*records[0], "pack_ns");
+    t1 = t0 + 1;
+    for (std::size_t i = 0; i < rows; ++i)
+      t1 = std::max(t1, inum(*records[i], "dispatch_ns"));
+  }
+  auto x_of = [&](long long ns) {
+    return kLabelW + kPlotW * static_cast<double>(ns - t0) /
+                         static_cast<double>(t1 - t0);
+  };
+
+  std::string out = cat(
+      "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+      "<title>dpgen message waterfall</title>\n"
+      "<style>body{font:13px sans-serif;margin:16px}"
+      ".lg{display:inline-block;margin-right:14px}"
+      ".sw{display:inline-block;width:11px;height:11px;margin-right:4px;"
+      "vertical-align:-1px}"
+      "text{font:10px monospace}</style></head>\n<body>\n"
+      "<h1>dpgen message waterfall</h1>\n<p>problem: ",
+      doc.has("problem") ? doc.at("problem").as_string() : "?",
+      " &middot; messages: ", inum(doc, "messages"),
+      records.size() > rows
+          ? cat(" (showing the first ", rows, " by pack time)")
+          : std::string(),
+      "</p>\n<p>");
+  for (const auto& st : kStages)
+    out += cat("<span class=\"lg\"><span class=\"sw\" style=\"background:",
+               st.color, "\"></span>", st.stage, "</span>");
+  out += cat("</p>\n<svg width=\"", kLabelW + kPlotW + 20, "\" height=\"",
+             (static_cast<double>(rows) + 2.0) * kRowH,
+             "\" xmlns=\"http://www.w3.org/2000/svg\">\n");
+  for (std::size_t i = 0; i < rows; ++i) {
+    const json::Value& r = *records[i];
+    const double y = (static_cast<double>(i) + 1.0) * kRowH;
+    out += cat("<text x=\"0\" y=\"", y + 10, "\">", inum(r, "src"),
+               "&#8594;", inum(r, "dst"), " #", inum(r, "seq"), "</text>\n");
+    // Stamps are taken in lifecycle order on one clock; render with a
+    // running clamp so a malformed record cannot produce negative widths.
+    long long prev = inum(r, "pack_ns");
+    for (const auto& st : kStages) {
+      const long long lo = prev;
+      const long long hi = std::max(lo, inum(r, st.to));
+      prev = hi;
+      if (hi == lo) continue;
+      out += cat("<rect x=\"", x_of(lo), "\" y=\"", y + 2, "\" width=\"",
+                 x_of(hi) - x_of(lo), "\" height=\"", kRowH - 4,
+                 "\" fill=\"", st.color, "\"><title>", st.stage, " ",
+                 hi - lo, " ns (edge ", inum(r, "edge"), ", ",
+                 inum(r, "bytes"), " bytes)</title></rect>\n");
+    }
+  }
+  out += "</svg>\n</body></html>\n";
+  return out;
+}
+
+/// Conservation checker for a dpgen.msgtrace.v1 document: re-derives the
+/// per-link and aggregate accounting from the links array, re-verifies the
+/// queueing decomposition's sum invariant everywhere it appears, and exits
+/// nonzero on unexplained message loss (gaps beyond the fault plan's
+/// expected drops and the recorded ring overflow) or over-budget repeats.
+int run_msgtrace(const Options& opt) {
+  json::ValuePtr doc = json::parse(read_file(opt.msgtrace_in));
+  if (!doc->has("schema") ||
+      doc->at("schema").as_string() != "dpgen.msgtrace.v1") {
+    std::fprintf(stderr,
+                 "dpgen-analyze: '%s' is not a dpgen.msgtrace.v1 document\n",
+                 opt.msgtrace_in.c_str());
+    return 2;
+  }
+  int violations = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "dpgen-analyze: msgtrace violation: %s\n",
+                 what.c_str());
+    ++violations;
+  };
+
+  long long sent = 0, delivered = 0, gaps = 0, repeats = 0;
+  for (const json::ValuePtr& link : doc->at("links").as_array()) {
+    const long long lsent = inum(*link, "sent");
+    const long long ldel = inum(*link, "delivered");
+    const long long lgaps = inum(*link, "gaps");
+    const long long lrep = inum(*link, "repeats");
+    const std::string name =
+        cat("link ", inum(*link, "src"), "->", inum(*link, "dst"));
+    if (lgaps != std::max(0LL, lsent - ldel))
+      fail(cat(name, ": gaps ", lgaps, " != max(0, sent ", lsent,
+               " - delivered ", ldel, ")"));
+    if (lrep < 0 || ldel < 0 || lsent < 0)
+      fail(cat(name, ": negative counter"));
+    if (!queueing_sums(link->at("queueing_ns")))
+      fail(cat(name, ": queueing buckets do not sum to end_to_end"));
+    sent += lsent;
+    delivered += ldel;
+    gaps += lgaps;
+    repeats += lrep;
+  }
+  if (!queueing_sums(doc->at("queueing_ns")))
+    fail("aggregate queueing buckets do not sum to end_to_end");
+
+  const json::Value& c = doc->at("conservation");
+  if (inum(c, "total_sent") != sent)
+    fail(cat("total_sent ", inum(c, "total_sent"), " != links sum ", sent));
+  if (inum(c, "total_delivered") != delivered)
+    fail(cat("total_delivered ", inum(c, "total_delivered"),
+             " != links sum ", delivered));
+  if (inum(c, "total_gaps") != gaps)
+    fail(cat("total_gaps ", inum(c, "total_gaps"), " != links sum ", gaps));
+  if (inum(c, "total_repeats") != repeats)
+    fail(cat("total_repeats ", inum(c, "total_repeats"), " != links sum ",
+             repeats));
+  const long long explained = std::max(0LL, inum(*doc, "expected_drops")) +
+                              inum(*doc, "records_dropped");
+  const long long unexplained = std::max(0LL, gaps - explained);
+  if (inum(c, "unexplained_loss") != unexplained)
+    fail(cat("unexplained_loss ", inum(c, "unexplained_loss"),
+             " != recomputed ", unexplained));
+  const bool accounted =
+      unexplained == 0 &&
+      repeats <= std::max(0LL, inum(*doc, "expected_dups"));
+  const bool doc_accounted = c.has("accounted") &&
+                             c.at("accounted").is(json::Kind::kBool) &&
+                             c.at("accounted").boolean;
+  if (accounted != doc_accounted)
+    fail(cat("accounted flag ", doc_accounted ? "true" : "false",
+             " disagrees with recomputed ", accounted ? "true" : "false"));
+  if (unexplained > 0)
+    fail(cat(unexplained, " message(s) lost beyond the expected drops (",
+             inum(*doc, "expected_drops"), ") and ring overflow (",
+             inum(*doc, "records_dropped"), ")"));
+  if (repeats > std::max(0LL, inum(*doc, "expected_dups")))
+    fail(cat(repeats, " repeated delivery(ies) vs ",
+             inum(*doc, "expected_dups"), " expected duplicates"));
+
+  // Record-level re-check: when the record array is complete, the
+  // aggregate decomposition must equal the per-record sum exactly.
+  if (inum(*doc, "records_truncated") == 0) {
+    long long e2e = 0;
+    for (const json::ValuePtr& r : doc->at("records").as_array()) {
+      long long prev = inum(*r, "pack_ns");
+      for (const char* key : {"send_ns", "admit_ns", "deliver_ns",
+                              "unpack_ns", "dispatch_ns"}) {
+        const long long t = inum(*r, key);
+        if (t > prev) e2e += t - prev;
+        prev = std::max(prev, t);
+      }
+    }
+    if (e2e != inum(doc->at("queueing_ns"), "end_to_end"))
+      fail(cat("records sum to end_to_end ", e2e, " but the aggregate says ",
+               inum(doc->at("queueing_ns"), "end_to_end")));
+  }
+
+  std::printf(
+      "msgtrace: %lld records (%lld dropped), %lld sent / %lld delivered, "
+      "gaps=%lld repeats=%lld expected_drops=%lld expected_dups=%lld "
+      "table_duplicates=%lld unexplained=%lld\n",
+      inum(*doc, "messages"), inum(*doc, "records_dropped"), sent, delivered,
+      gaps, repeats, inum(*doc, "expected_drops"),
+      inum(*doc, "expected_dups"), inum(*doc, "table_duplicates"),
+      unexplained);
+
+  if (!opt.waterfall_out.empty()) {
+    std::ofstream out(opt.waterfall_out);
+    DPGEN_CHECK(out.good(), cat("cannot open waterfall output '",
+                                opt.waterfall_out, "'"));
+    out << waterfall_html(*doc);
+    std::printf("waterfall written to %s\n", opt.waterfall_out.c_str());
+  }
+  if (violations == 0)
+    std::printf("conservation check passed (%s)\n", opt.msgtrace_in.c_str());
+  return violations == 0 ? 0 : 1;
+}
+
 int run_problem(const Options& opt) {
   const Entry* entry = find_entry(opt.problem);
   if (!entry) {
@@ -650,6 +880,7 @@ int run_problem(const Options& opt) {
     cfg.profile_path = opt.profile_out;
     cfg.profile_hz = opt.profile_hz;
     cfg.problem_name = entry->name;
+    cfg.msgtrace_path = opt.msgtrace_out;
     sim::SimResult res = sim::simulate(model, params, cfg);
     obs::AnalysisReport report =
         obs::analyze(sim::analysis_input(res, model, params, cfg));
@@ -659,6 +890,8 @@ int run_problem(const Options& opt) {
     if (!opt.profile_out.empty())
       std::printf("synthetic profile written to %s\n",
                   opt.profile_out.c_str());
+    if (!opt.msgtrace_out.empty() && opt.msgtrace_out != "-")
+      std::printf("msgtrace written to %s\n", opt.msgtrace_out.c_str());
     return 0;
   }
 
@@ -671,12 +904,23 @@ int run_problem(const Options& opt) {
   eopt.profile_hz = opt.profile_hz;
   eopt.profile_force_cputime = opt.profile_cputime;
   eopt.profile_problem = entry->name;
+  eopt.msgtrace_json_path = opt.msgtrace_out;
+  if (!opt.faults.empty()) {
+    // Chaos leg: inject the plan on the first attempt and let the
+    // checkpoint/restart path recover; the msgtrace document carries the
+    // plan's drop/dup counts as expected gaps/repeats for --msgtrace.
+    eopt.fault_plan = minimpi::FaultPlan::parse(opt.faults);
+    eopt.fault_tolerant = true;
+    eopt.recover_stall_seconds = 0.25;
+  }
   engine::EngineResult result =
       engine::run(model, params, problem.kernel, eopt);
   std::fputs(obs::report_text(*result.report).c_str(), stdout);
   std::printf("\nreport written to %s\n", opt.report_path.c_str());
   if (!opt.trace_out.empty())
     std::printf("trace written to %s\n", opt.trace_out.c_str());
+  if (!opt.msgtrace_out.empty() && opt.msgtrace_out != "-")
+    std::printf("msgtrace written to %s\n", opt.msgtrace_out.c_str());
   if (result.profile) {
     const obs::ProfileDoc& p = *result.profile;
     std::printf(
@@ -724,6 +968,10 @@ int main(int argc, char** argv) {
     else if (arg == "--profile-cputime") opt.profile_cputime = true;
     else if (const char* v = value("--profile=")) opt.profile_in = v;
     else if (const char* v = value("--flame=")) opt.flame_out = v;
+    else if (const char* v = value("--msgtrace-out=")) opt.msgtrace_out = v;
+    else if (const char* v = value("--msgtrace=")) opt.msgtrace_in = v;
+    else if (const char* v = value("--waterfall=")) opt.waterfall_out = v;
+    else if (const char* v = value("--faults=")) opt.faults = v;
     else if (const char* v = value("--diff=")) {
       const std::vector<std::string> parts = split(v, ",");
       if (parts.size() != 2) return usage(argv[0]);
@@ -753,6 +1001,7 @@ int main(int argc, char** argv) {
     if (!opt.events_in.empty()) return run_events(opt);
     if (!opt.diff_old.empty()) return run_diff(opt);
     if (!opt.profile_in.empty()) return run_profile(opt);
+    if (!opt.msgtrace_in.empty()) return run_msgtrace(opt);
     if (!opt.trace_in.empty()) return run_trace(opt);
     if (!opt.problem.empty()) return run_problem(opt);
   } catch (const std::exception& e) {

@@ -159,7 +159,7 @@ std::string rank_table(const std::vector<obs::RankSnapshot>& snaps,
     if (s.prof_cycles > 0) prof = true;
   std::string out =
       "rank     executed/owned    %   ready  pending  buffered  blocked"
-      "      bytes   msgs";
+      "   mbox      bytes   msgs";
   if (prof) out += "    ipc  cost/cell";
   out += "  status\n";
   for (std::size_t r = 0; r < snaps.size(); ++r) {
@@ -176,10 +176,10 @@ std::string rank_table(const std::vector<obs::RankSnapshot>& snaps,
     char line[240];
     std::snprintf(line, sizeof line,
                   "%4zu  %8lld/%-8lld %5.1f  %6lld  %7lld  %8lld  %7lld"
-                  "  %9lld  %5lld",
+                  "  %5lld  %9lld  %5lld",
                   r, s.executed, s.owned, pct, s.ready_tiles,
                   s.pending_tiles, s.buffered_edges, s.blocked_senders,
-                  s.bytes_sent, s.messages_sent);
+                  s.mailbox_depth, s.bytes_sent, s.messages_sent);
     out += line;
     if (prof) {
       if (s.prof_instructions > 0 && s.prof_cycles > 0)
@@ -512,6 +512,9 @@ int run_sim_top(const Options& opt, const Entry& entry,
           static_cast<long long>(ev->at("bytes_sent").as_number());
       s.messages_sent =
           static_cast<long long>(ev->at("messages_sent").as_number());
+      if (ev->has("mailbox_depth"))
+        s.mailbox_depth =
+            static_cast<long long>(ev->at("mailbox_depth").as_number());
       if (s.t_s != batch_t) {
         flush_batch();
         batch_t = s.t_s;
